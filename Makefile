@@ -1,0 +1,32 @@
+# Convenience targets for the biglittle-repro repository.
+
+.PHONY: install test bench artifacts calibrate examples clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper table/figure into results/.
+artifacts:
+	python scripts/collect_results.py
+
+# Compare the 12 app models against the paper's Table III.
+calibrate:
+	python scripts/calibrate_table3.py
+
+examples:
+	python examples/quickstart.py bbench
+	python examples/core_config_explorer.py video-player
+	python examples/scheduler_tuning.py
+	python examples/custom_app.py
+	python examples/trace_replay_profiling.py
+	python examples/battery_life.py
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

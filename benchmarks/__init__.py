@@ -1,0 +1,1 @@
+"""Paper-artifact benchmarks (pytest-benchmark)."""

@@ -1,0 +1,31 @@
+"""Shared fixtures for the paper-artifact benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the rendered artifact, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the paper's entire evaluation section.  Simulations are
+deterministic, so a single round per benchmark is meaningful; the
+benchmark timer reports the cost of regenerating each artifact.
+"""
+
+import pytest
+
+from repro.core.study import CharacterizationStudy
+
+SEED = 7
+
+
+@pytest.fixture(scope="session")
+def study():
+    """One shared study: Tables III-V and Figures 9-10 reuse its runs."""
+    return CharacterizationStudy(seed=SEED)
+
+
+def run_artifact(benchmark, fn, *args, **kwargs):
+    """Run an artifact generator once under the benchmark timer."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result

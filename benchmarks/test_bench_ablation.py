@@ -1,0 +1,76 @@
+"""Ablation benches for design choices called out in DESIGN.md.
+
+Not paper artifacts — these probe the sensitivity of the system to two
+load-prediction mechanisms the paper identifies as critical: the HMP
+load-history time weight, and the interactive governor's hispeed jump.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.study import run_app
+from repro.platform.chip import exynos5422
+from repro.sched.params import baseline_config
+
+
+HALFLIVES_MS = [8.0, 16.0, 32.0, 64.0, 128.0]
+
+
+def test_ablation_history_halflife(benchmark):
+    """Sweep the load-history half-life on the burstiest app.
+
+    Short half-lives migrate eagerly (more big-core time, more power);
+    long half-lives react sluggishly.  The default 32 ms sits between.
+    """
+    chip = exynos5422(screen_on=True)
+    base = baseline_config()
+
+    def sweep():
+        out = {}
+        for halflife in HALFLIVES_MS:
+            sched = replace(base, hmp=replace(base.hmp, history_halflife_ms=halflife))
+            run = run_app("bbench", chip=chip, scheduler=sched, seed=7)
+            out[halflife] = (run.latency_s(), run.avg_power_mw())
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for halflife, (latency, power) in results.items():
+        print(f"halflife {halflife:5.0f} ms: latency {latency:6.2f} s, power {power:6.0f} mW")
+
+    latencies = [results[h][0] for h in HALFLIVES_MS]
+    # The sluggish extreme must be slower than the default.
+    assert results[128.0][0] > results[32.0][0] * 0.98
+    # No half-life changes latency by an order of magnitude — the
+    # bi-modal big-core loads the paper describes damp the knob.
+    assert max(latencies) < 2.0 * min(latencies)
+
+
+def test_ablation_hispeed_jump(benchmark):
+    """Disable the governor's hispeed jump (responsiveness optimization).
+
+    Without the jump, bursts ramp frequency one proportional step per
+    sample, so user actions should complete more slowly on a bursty
+    latency app while idle-heavy power stays similar.
+    """
+    chip = exynos5422(screen_on=True)
+    base = baseline_config()
+    no_jump = replace(base, governor=replace(base.governor, hispeed_enabled=False))
+
+    def compare():
+        with_jump = run_app("pdf-reader", chip=chip, scheduler=base, seed=7)
+        without = run_app("pdf-reader", chip=chip, scheduler=no_jump, seed=7)
+        return {
+            "with": (with_jump.latency_s(), with_jump.avg_power_mw()),
+            "without": (without.latency_s(), without.avg_power_mw()),
+        }
+
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print()
+    for label, (latency, power) in results.items():
+        print(f"hispeed {label:8s}: latency {latency:5.2f} s, power {power:5.0f} mW")
+
+    assert results["without"][0] > results["with"][0]
+    # The jump costs some power for its responsiveness.
+    assert results["without"][1] < results["with"][1] * 1.05

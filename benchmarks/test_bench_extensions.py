@@ -1,0 +1,140 @@
+"""Extension benches: the beyond-the-paper experiments.
+
+- tiny core (paper Sec. VI.B proposal)
+- oracle efficiency scheduler vs HMP (Sec. IV.A)
+- first-gen cluster switching vs concurrent HMP (Sec. II remark)
+- governor comparison
+- thermal throttling of sustained load
+- race-to-idle energy/frequency sweep
+- touch booster
+- multitasking scenarios
+"""
+
+from benchmarks.conftest import SEED, run_artifact
+from repro.experiments.ext_cluster_switch import run_cluster_switch_comparison
+from repro.experiments.ext_energy_freq import run_energy_frequency_sweep
+from repro.experiments.ext_governor_compare import run_governor_comparison
+from repro.experiments.ext_gpu import run_gpu_sweep
+from repro.experiments.ext_input_boost import run_input_boost
+from repro.experiments.ext_multitasking import run_multitasking
+from repro.experiments.ext_scheduler_compare import run_scheduler_comparison
+from repro.experiments.ext_thermal import run_thermal
+from repro.experiments.ext_tiny_core import run_tiny_core
+from repro.platform.coretypes import CoreType
+
+LIGHT_APPS = ["video-player", "youtube", "angry-bird"]
+HEAVY_APPS = ["bbench", "encoder"]
+
+
+def test_ext_tiny_core(benchmark):
+    result = run_artifact(
+        benchmark, run_tiny_core, apps=LIGHT_APPS + HEAVY_APPS, seed=SEED
+    )
+    # The paper's argument: tiny cores pay off exactly for the apps
+    # stuck in the `min` efficiency state...
+    for app in LIGHT_APPS:
+        assert result.power_saving_pct[app] > 1.0, app
+        assert abs(result.perf_change_pct[app]) < 3.0, app
+    # ...and not for burst-heavy apps, which spill onto big cores.
+    for app in HEAVY_APPS:
+        assert result.power_saving_pct[app] < min(
+            result.power_saving_pct[a] for a in LIGHT_APPS
+        ), app
+
+
+def test_ext_efficiency_scheduler(benchmark):
+    result = run_artifact(
+        benchmark,
+        run_scheduler_comparison,
+        apps=["video-player", "photo-editor", "encoder", "bbench"],
+        seed=SEED,
+    )
+    # The paper's Section IV.A argument: for low-utilization apps and
+    # for apps already big-resident under HMP, the simple utilization-
+    # based scheme captures nearly all of what an oracle efficiency-
+    # based scheduler could.
+    for app in ("video-player", "encoder"):
+        assert abs(result.perf_change_pct[app]) < 5.0, app
+        assert abs(result.power_change_pct[app]) < 5.0, app
+    # Where the oracle does win — medium bursts it promotes earlier
+    # than HMP's 700 threshold, and saturating parallel loads it packs
+    # better — the performance comes with a power cost, i.e. the
+    # "room for improvement" the paper concedes is a trade, not free.
+    for app in ("photo-editor", "bbench"):
+        assert result.perf_change_pct[app] > 0.0, app
+        assert result.power_change_pct[app] > 0.0, app
+
+
+def test_ext_cluster_switching(benchmark):
+    result = run_artifact(benchmark, run_cluster_switch_comparison, seed=SEED)
+    # Little-only apps don't notice; mixed workloads pay in performance
+    # or power for the all-or-nothing residency.
+    assert abs(result.perf_change_pct["video-player"]) < 1.0
+    assert result.perf_change_pct["encoder"] < -5.0
+    assert result.power_change_pct["bbench"] > 0.0
+
+
+def test_ext_governor_comparison(benchmark):
+    result = run_artifact(benchmark, run_governor_comparison, seed=SEED)
+    bb_power = {g: result.power_mw[g]["bbench"] for g in result.governors()}
+    bb_latency = {g: result.performance[g]["bbench"] for g in result.governors()}
+    # The canonical frontier: performance fastest and most expensive,
+    # powersave cheapest and slowest, interactive in between.
+    assert bb_latency["performance"] <= bb_latency["interactive"]
+    assert bb_latency["interactive"] < bb_latency["powersave"]
+    assert bb_power["performance"] > bb_power["interactive"] > bb_power["powersave"]
+    assert bb_power["conservative"] < bb_power["interactive"]
+
+
+def test_ext_thermal_throttling(benchmark):
+    result = run_artifact(benchmark, run_thermal, seed=SEED)
+    assert result.throttle_events >= 1
+    assert result.throttled_s > result.unthrottled_s * 1.1
+    assert result.mean_big_khz_last_s < result.mean_big_khz_first_s * 0.9
+    # The trip governor pins temperature near the trip point.
+    assert 70.0 < result.peak_temp_c < 85.0
+
+
+def test_ext_energy_frequency(benchmark):
+    result = run_artifact(benchmark, run_energy_frequency_sweep, seed=SEED)
+    big = result.energy_mj[CoreType.BIG]
+    freqs = sorted(big)
+    optimum = result.optimal_khz(CoreType.BIG)
+    # Big-core energy is U-shaped: neither crawling nor racing is optimal.
+    assert freqs[0] < optimum < freqs[-1]
+    # Little cores finish the same work on less energy everywhere.
+    assert min(result.energy_mj[CoreType.LITTLE].values()) < min(big.values())
+
+
+def test_ext_input_boost(benchmark):
+    result = run_artifact(benchmark, run_input_boost, seed=SEED)
+    # Boosting must help latency on average, at a modest power premium
+    # (action-dense apps like the virus scanner keep the boost floor
+    # almost continuously engaged, so their premium is the largest).
+    changes = list(result.latency_change_pct.values())
+    assert sum(changes) / len(changes) < -2.0
+    for app, power in result.power_change_pct.items():
+        assert power < 20.0, app
+
+
+def test_ext_multitasking(benchmark):
+    result = run_artifact(benchmark, run_multitasking, seed=SEED)
+    for name, o in result.outcomes.items():
+        # Background services never cost the foreground app much...
+        assert o.perf_change_pct > -8.0, name
+        # ...and the system absorbs them with at most a modest power bump.
+        assert o.multi_power_mw < o.solo_power_mw * 1.15, name
+    # Idle headroom shrinks when services run behind an idle-heavy app.
+    browse = result.outcomes["browse-with-music"]
+    assert browse.multi_tlp.idle_pct < browse.solo_tlp.idle_pct
+
+
+def test_ext_gpu_pipeline(benchmark):
+    result = run_artifact(benchmark, run_gpu_sweep, seed=SEED)
+    loads = sorted(result.fps)
+    # FPS degrades monotonically (within noise) as per-frame GPU work
+    # grows, and the heaviest load is clearly GPU-bound.
+    assert result.fps[loads[0]] > result.fps[loads[-1]] + 15.0
+    assert result.fps[loads[-1]] < 35.0
+    # GPU power overtakes the CPU clusters for heavy frames.
+    assert result.gpu_power_mw[loads[-1]] > result.cpu_power_mw[loads[-1]]

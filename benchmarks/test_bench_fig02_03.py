@@ -1,0 +1,21 @@
+"""Figures 2 and 3: SPEC-like speedup and power across core/frequency."""
+
+from benchmarks.conftest import SEED, run_artifact
+from repro.experiments.fig02_03_spec import run_spec_comparison
+
+
+def test_fig2_fig3_spec_comparison(benchmark):
+    result = run_artifact(benchmark, run_spec_comparison, seed=SEED)
+
+    # Paper shape: big wins at equal frequency for every kernel...
+    for kernel in result.elapsed_s:
+        assert result.speedup(kernel, "big@1.3") > 1.0
+    # ...with cache-sensitive kernels reaching ~4.5x...
+    assert 3.5 < result.max_speedup() < 5.5
+    # ...while a few low-ILP kernels lose at the minimum big frequency.
+    losers = [k for k in result.elapsed_s if result.speedup(k, "big@0.8") < 1.0]
+    assert 1 <= len(losers) <= 5
+
+    # Power shape: ~2.3x at equal frequency, ~1.5x even at big minimum.
+    assert 2.0 < result.power_ratio("big@1.3") < 2.6
+    assert 1.3 < result.power_ratio("big@0.8") < 1.7

@@ -1,0 +1,52 @@
+"""Figures 4 and 5: mobile apps on 4 big vs 4 little cores."""
+
+from benchmarks.conftest import SEED, run_artifact
+from repro.experiments.fig04_05_corecompare import (
+    run_fps_comparison,
+    run_latency_comparison,
+)
+from repro.platform.chip import exynos5422
+
+
+def test_fig4_latency_apps(benchmark):
+    chip = exynos5422(screen_on=True)
+    result = run_artifact(benchmark, run_latency_comparison, chip=chip, seed=SEED)
+
+    # Paper shape: big cores help latency for every app, far less than
+    # the SPEC speedups (up to 4.5x = 350%) would suggest, because low
+    # CPU utilization dilutes the core-architecture advantage...
+    for app, reduction in result.latency_reduction_pct.items():
+        assert 0.0 < reduction < 65.0, app
+    # ...with the median in the paper's "<~30%" regime (our synthetic
+    # bursts are somewhat more CPU-bound, so the tail runs higher).
+    reductions = sorted(result.latency_reduction_pct.values())
+    assert reductions[len(reductions) // 2] < 45.0
+    # Power increases remain far below SPEC's ratios for most apps; the
+    # saturating bbench benchmark is the one outlier.
+    increases = sorted(result.power_increase_pct.values())
+    assert increases[len(increases) // 2] < 80.0
+    for app, increase in result.power_increase_pct.items():
+        assert increase < 180.0, app
+
+
+def test_fig5_fps_apps(benchmark):
+    chip = exynos5422(screen_on=True)
+    result = run_artifact(benchmark, run_fps_comparison, chip=chip, seed=SEED)
+
+    # Paper shape: average FPS barely moves except for the CPU-heavy
+    # game (Eternity Warriors 2)...
+    assert abs(result.avg_fps_improvement_pct["video-player"]) < 3.0
+    assert abs(result.avg_fps_improvement_pct["youtube"]) < 3.0
+    assert abs(result.avg_fps_improvement_pct["angry-bird"]) < 6.0
+    ew2 = result.avg_fps_improvement_pct["eternity-warrior-2"]
+    assert ew2 > 5.0  # the one game whose average FPS clearly benefits
+    assert ew2 >= max(
+        v for k, v in result.avg_fps_improvement_pct.items()
+        if k != "eternity-warrior-2"
+    )
+    # ...while minimum FPS benefits at least as much as the average for
+    # the demanding games.
+    assert (
+        result.min_fps_improvement_pct["eternity-warrior-2"]
+        >= result.avg_fps_improvement_pct["eternity-warrior-2"] - 3.0
+    )

@@ -1,0 +1,32 @@
+"""Figure 6: power vs. CPU utilization for each core type and frequency."""
+
+from benchmarks.conftest import SEED, run_artifact
+from repro.experiments.fig06_util_power import run_util_power
+from repro.platform.coretypes import CoreType
+
+
+def test_fig6_utilization_power(benchmark):
+    result = run_artifact(benchmark, run_util_power, seed=SEED)
+
+    for core_type, freqs in result.power_mw.items():
+        for freq in freqs:
+            series = result.series(core_type, freq)
+            # Power rises monotonically with utilization.
+            assert all(b >= a - 1e-6 for a, b in zip(series, series[1:]))
+
+    # The slope is much steeper at high frequency (paper finding 1).
+    little = result.power_mw[CoreType.LITTLE]
+    big = result.power_mw[CoreType.BIG]
+    assert result.slope_mw(CoreType.LITTLE, max(little)) > 2.0 * result.slope_mw(
+        CoreType.LITTLE, min(little)
+    )
+    assert result.slope_mw(CoreType.BIG, max(big)) > 2.0 * result.slope_mw(
+        CoreType.BIG, min(big)
+    )
+
+    # Big and little cover clearly different power ranges (finding 2):
+    # at full utilization even the slowest big point exceeds the fastest
+    # little point.
+    big_min_full = result.power_mw[CoreType.BIG][min(big)][1.0]
+    little_max_full = result.power_mw[CoreType.LITTLE][max(little)][1.0]
+    assert big_min_full > little_max_full

@@ -1,0 +1,41 @@
+"""Figures 11-13: the eight governor/HMP parameter variants."""
+
+from benchmarks.conftest import SEED, run_artifact
+from repro.experiments.fig11_12_13_params import run_param_sweep
+
+
+def test_fig11_fig12_fig13_param_sweep(benchmark):
+    result = run_artifact(benchmark, run_param_sweep, seed=SEED)
+
+    summaries = {v: result.power_summary(v) for v in result.variant_names()}
+
+    # Figure 11 shape: the governor sampling interval is the most
+    # impactful knob — longer intervals save power on average...
+    avg_60 = summaries["interval-60"][0]
+    avg_100 = summaries["interval-100"][0]
+    assert avg_60 > -0.5
+    assert avg_100 > avg_60 - 1.0
+    # ...more than any HMP-side change does.
+    hmp_best = max(
+        summaries[v][0]
+        for v in ("hmp-conservative", "hmp-aggressive", "weight-2x", "weight-half")
+    )
+    assert max(avg_60, avg_100) >= hmp_best - 0.5
+
+    # The aggressive HMP setting mostly costs power; the conservative
+    # one does not cost more than aggressive.
+    assert summaries["hmp-aggressive"][0] <= summaries["hmp-conservative"][0] + 0.5
+
+    # History-weight changes have only a minor average impact.
+    assert abs(summaries["weight-2x"][0]) < 4.0
+    assert abs(summaries["weight-half"][0]) < 4.0
+
+    # Figure 12 shape: the power saved by longer intervals comes with
+    # some latency cost for at least one latency app.
+    lat_100 = result.latency_change_pct["interval-100"]
+    assert max(lat_100.values()) > 0.0
+
+    # Figure 13 shape: average FPS changes stay modest for every variant.
+    for variant, per_app in result.fps_change_pct.items():
+        for app, change in per_app.items():
+            assert abs(change) < 25.0, (variant, app)

@@ -1,0 +1,52 @@
+"""Estimate battery life per usage pattern from measured power.
+
+Turns the simulator's power measurements into the number every phone
+review leads with: hours of battery life per activity.  Uses the Galaxy
+S5's 2800 mAh / 3.85 V battery (~10.8 Wh) and a simple usage-mix model.
+
+Run:  python examples/battery_life.py
+"""
+
+from repro.core.report import render_table
+from repro.core.study import run_app
+from repro.platform.chip import CoreConfig, exynos5422
+
+BATTERY_WH = 2.8 * 3.85        # Galaxy S5: 2800 mAh at 3.85 V nominal
+REGULATOR_EFFICIENCY = 0.90    # PMIC conversion losses
+
+ACTIVITIES = [
+    ("video playback", "video-player", None),
+    ("video playback (L2 only)", "video-player", CoreConfig(2, 0)),
+    ("youtube streaming", "youtube", None),
+    ("3D gaming (EW2)", "eternity-warrior-2", None),
+    ("casual gaming", "angry-bird", None),
+    ("web browsing", "browser", None),
+    ("voice call", "voice-call", None),
+]
+
+
+def hours_at(power_mw: float) -> float:
+    usable_wh = BATTERY_WH * REGULATOR_EFFICIENCY
+    return usable_wh / (power_mw / 1000.0)
+
+
+def main() -> None:
+    chip = exynos5422(screen_on=True)
+    rows = []
+    for label, app, config in ACTIVITIES:
+        run = run_app(app, chip=chip, core_config=config, seed=0)
+        power = run.avg_power_mw()
+        rows.append([label, power, hours_at(power)])
+    rows.sort(key=lambda r: -r[2])
+    print(render_table(
+        ["activity", "avg power (mW)", "battery hours"],
+        rows,
+        title=f"Battery life estimates ({BATTERY_WH:.1f} Wh pack, screen on)",
+        float_fmt="{:.1f}",
+    ))
+    best, worst = rows[0], rows[-1]
+    print(f"\n{best[0]} lasts {best[2] / worst[2]:.1f}x longer than {worst[0]}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Explore asymmetric core configurations for a target application.
+
+The paper's Section V.C question: given an app, how few (and which)
+cores does it actually need?  This example sweeps every sensible
+little/big combination, measures performance and power against the full
+L4+B4 baseline, and prints the Pareto frontier — exactly the analysis a
+platform designer would run to right-size the next SoC.
+
+Run:  python examples/core_config_explorer.py [app-name]
+"""
+
+import sys
+
+from repro.core.report import render_table
+from repro.core.study import run_app
+from repro.platform.chip import CoreConfig, exynos5422
+from repro.workloads.base import Metric
+from repro.workloads.mobile import MOBILE_APP_NAMES
+
+
+def sweep_configs():
+    for little in (1, 2, 4):
+        for big in (0, 1, 2, 4):
+            yield CoreConfig(little=little, big=big)
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "eternity-warrior-2"
+    if app not in MOBILE_APP_NAMES:
+        raise SystemExit(f"unknown app {app!r}")
+
+    chip = exynos5422(screen_on=True)
+    base = run_app(app, chip=chip, core_config=CoreConfig(4, 4), seed=0)
+    if base.metric is Metric.LATENCY:
+        base_perf, perf_label = base.latency_s(), "latency (s)"
+    else:
+        base_perf, perf_label = base.avg_fps(), "avg FPS"
+    base_power = base.avg_power_mw()
+
+    rows = []
+    points = []
+    for config in sweep_configs():
+        run = run_app(app, chip=chip, core_config=config, seed=0)
+        perf = run.latency_s() if run.metric is Metric.LATENCY else run.avg_fps()
+        power = run.avg_power_mw()
+        if run.metric is Metric.LATENCY:
+            perf_loss = 100.0 * (perf - base_perf) / base_perf
+        else:
+            perf_loss = 100.0 * (base_perf - perf) / base_perf
+        saving = 100.0 * (base_power - power) / base_power
+        rows.append([config.label(), perf, power, perf_loss, saving])
+        points.append((config.label(), perf_loss, saving))
+
+    print(render_table(
+        ["config", perf_label, "power (mW)", "perf loss %", "power saving %"],
+        rows,
+        title=f"{app}: core-configuration sweep (baseline L4+B4)",
+    ))
+
+    # Pareto frontier: configs not dominated in (perf loss, power saving).
+    frontier = []
+    for label, loss, saving in points:
+        dominated = any(
+            other_loss <= loss and other_saving >= saving
+            and (other_loss, other_saving) != (loss, saving)
+            for _, other_loss, other_saving in points
+        )
+        if not dominated:
+            frontier.append((saving, loss, label))
+    frontier.sort(reverse=True)
+    print("\nPareto frontier (power saving vs. performance loss):")
+    for saving, loss, label in frontier:
+        print(f"  {label:7s} saves {saving:5.1f}% power at {loss:5.1f}% perf loss")
+
+
+if __name__ == "__main__":
+    main()

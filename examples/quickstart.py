@@ -1,0 +1,63 @@
+"""Quickstart: characterize one mobile app on the asymmetric platform.
+
+Runs BBench under the default HMP scheduler + interactive governor on
+the 4+4 Exynos-5422-like chip, then prints the paper's per-app analyses:
+TLP statistics (Table III row), the (big, little) activity matrix
+(Table IV), frequency residency (Figures 9/10), and the efficiency
+decomposition (Table V row).
+
+Run:  python examples/quickstart.py [app-name] [seed]
+"""
+
+import sys
+
+from repro.core.report import render_matrix, render_table
+from repro.core.study import CharacterizationStudy
+from repro.workloads.mobile import MOBILE_APP_NAMES
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "bbench"
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+    if app not in MOBILE_APP_NAMES:
+        raise SystemExit(f"unknown app {app!r}; choose from {', '.join(MOBILE_APP_NAMES)}")
+
+    study = CharacterizationStudy(seed=seed)
+    c = study.characterize(app)
+
+    s = c.tlp
+    print(render_table(
+        ["idle %", "little %", "big %", "TLP"],
+        [[s.idle_pct, s.little_only_pct, s.big_active_pct, s.tlp]],
+        title=f"{app}: TLP statistics (Table III row)",
+    ))
+    print()
+    print(render_matrix(c.matrix, title=f"{app}: active-core distribution % (Table IV)"))
+    print()
+
+    freqs = sorted(c.little_residency)
+    print(render_table(
+        [f"{f/1e6:.1f}GHz" for f in freqs],
+        [[c.little_residency[f] for f in freqs]],
+        title=f"{app}: little-cluster frequency residency % (Figure 9)",
+        float_fmt="{:.1f}",
+    ))
+    print()
+    print(render_table(
+        ["min", "<50%", "50-70%", "70-95%", ">95%", "full"],
+        [c.efficiency.as_row()],
+        title=f"{app}: efficiency decomposition % (Table V row)",
+    ))
+
+    run = c.run
+    print()
+    if run.metric.value == "latency":
+        print(f"user-script latency: {run.latency_s():.2f} s")
+    else:
+        print(f"average FPS: {run.avg_fps():.1f}   minimum FPS: {run.min_fps():.1f}")
+    print(f"average system power: {run.avg_power_mw():.0f} mW "
+          f"({run.energy_mj() / 1000:.1f} J over {run.trace.duration_s:.1f} s)")
+
+
+if __name__ == "__main__":
+    main()

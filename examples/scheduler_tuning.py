@@ -1,0 +1,87 @@
+"""Tune the HMP scheduler and interactive governor for a workload mix.
+
+The paper's Section VI.C explores eight fixed parameter variants; this
+example goes further and sweeps a grid of governor sampling intervals
+and HMP thresholds over a mix of applications, reporting the
+power/performance trade-off of each setting — the workflow a platform
+vendor's power team would actually use.
+
+Run:  python examples/scheduler_tuning.py
+"""
+
+from dataclasses import replace
+
+from repro.core.report import render_table
+from repro.core.study import run_app
+from repro.platform.chip import exynos5422
+from repro.sched.params import SchedulerConfig, baseline_config
+from repro.workloads.base import Metric
+
+#: A latency app, a heavy game, and a video: the three load shapes.
+APP_MIX = ["bbench", "eternity-warrior-2", "video-player"]
+
+
+def grid():
+    base = baseline_config()
+    for sampling_ms in (20, 40, 80):
+        for up, down in ((700, 256), (850, 400), (550, 100)):
+            yield SchedulerConfig(
+                name=f"s{sampling_ms}-u{up}-d{down}",
+                hmp=replace(base.hmp, up_threshold=up, down_threshold=down),
+                governor=replace(base.governor, sampling_ms=sampling_ms),
+            )
+
+
+def evaluate(scheduler: SchedulerConfig, chip, baselines):
+    """Average power saving and worst performance regression over the mix."""
+    savings, regressions = [], []
+    for app in APP_MIX:
+        run = run_app(app, chip=chip, scheduler=scheduler, seed=0)
+        base = baselines[app]
+        savings.append(
+            100.0 * (base.avg_power_mw() - run.avg_power_mw()) / base.avg_power_mw()
+        )
+        if run.metric is Metric.LATENCY:
+            regressions.append(
+                100.0 * (run.latency_s() - base.latency_s()) / base.latency_s()
+            )
+        else:
+            regressions.append(
+                100.0 * (base.avg_fps() - run.avg_fps()) / base.avg_fps()
+            )
+    return sum(savings) / len(savings), max(regressions)
+
+
+def main() -> None:
+    chip = exynos5422(screen_on=True)
+    baselines = {
+        app: run_app(app, chip=chip, scheduler=baseline_config(), seed=0)
+        for app in APP_MIX
+    }
+
+    rows = []
+    for scheduler in grid():
+        saving, worst = evaluate(scheduler, chip, baselines)
+        rows.append([
+            scheduler.name,
+            scheduler.governor.sampling_ms,
+            scheduler.hmp.up_threshold,
+            scheduler.hmp.down_threshold,
+            saving,
+            worst,
+        ])
+    rows.sort(key=lambda r: -r[4])
+    print(render_table(
+        ["setting", "interval", "up", "down", "avg power saving %", "worst perf loss %"],
+        rows,
+        title=f"Scheduler/governor grid over {', '.join(APP_MIX)} (vs. defaults)",
+        float_fmt="{:+.2f}",
+    ))
+
+    best = next((r for r in rows if r[5] < 3.0), rows[-1])
+    print(f"\nBest setting holding perf loss under 3%: {best[0]} "
+          f"({best[4]:+.2f}% power, {best[5]:+.2f}% worst-case perf)")
+
+
+if __name__ == "__main__":
+    main()

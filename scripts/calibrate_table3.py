@@ -1,0 +1,39 @@
+"""Calibration aid: compare measured Table III stats against the paper.
+
+Run: python scripts/calibrate_table3.py [app ...]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.study import CharacterizationStudy
+from repro.workloads.mobile import MOBILE_APP_NAMES
+from repro.workloads.targets import PAPER_TABLE3
+
+
+def main() -> None:
+    apps = sys.argv[1:] or MOBILE_APP_NAMES
+    study = CharacterizationStudy(seed=7)
+    hdr = f"{'app':22s} {'idle':>11s} {'little':>11s} {'big':>11s} {'TLP':>9s} {'dur':>5s}"
+    print(hdr)
+    print("-" * len(hdr))
+    for name in apps:
+        t0 = time.time()
+        c = study.characterize(name)
+        p = PAPER_TABLE3[name]
+        m = c.tlp
+        print(
+            f"{name:22s} "
+            f"{m.idle_pct:5.1f}/{p.idle_pct:5.1f} "
+            f"{m.little_only_pct:5.1f}/{p.little_pct:5.1f} "
+            f"{m.big_active_pct:5.1f}/{p.big_pct:5.1f} "
+            f"{m.tlp:4.2f}/{p.tlp:4.2f} "
+            f"{c.run.trace.duration_s:4.1f}s "
+            f"({time.time() - t0:.1f}s wall)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Regenerate every paper artifact and write the rendered outputs to results/.
+
+Run: python scripts/collect_results.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.study import CharacterizationStudy
+from repro.experiments.fig02_03_spec import run_spec_comparison
+from repro.experiments.fig04_05_corecompare import (
+    run_fps_comparison,
+    run_latency_comparison,
+)
+from repro.experiments.fig06_util_power import run_util_power
+from repro.experiments.fig07_08_coreconfig import run_core_config_sweep
+from repro.experiments.fig09_10_freq import run_frequency_residency
+from repro.experiments.fig11_12_13_params import run_param_sweep
+from repro.experiments.table3_4_tlp import run_tlp_tables
+from repro.experiments.table5_efficiency import run_efficiency_table
+from repro.platform.chip import exynos5422
+
+SEED = 7
+OUT = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def main() -> None:
+    os.makedirs(OUT, exist_ok=True)
+    study = CharacterizationStudy(seed=SEED)
+    chip_on = exynos5422(screen_on=True)
+    artifacts = [
+        ("fig02_03", lambda: run_spec_comparison(seed=SEED)),
+        ("fig04", lambda: run_latency_comparison(chip=chip_on, seed=SEED)),
+        ("fig05", lambda: run_fps_comparison(chip=chip_on, seed=SEED)),
+        ("fig06", lambda: run_util_power(seed=SEED)),
+        ("table3_4", lambda: run_tlp_tables(study=study)),
+        ("fig09_10", lambda: run_frequency_residency(study=study)),
+        ("table5", lambda: run_efficiency_table(study=study)),
+        ("fig07_08", lambda: run_core_config_sweep(seed=SEED)),
+        ("fig11_13", lambda: run_param_sweep(seed=SEED)),
+    ]
+    for name, runner in artifacts:
+        t0 = time.time()
+        result = runner()
+        path = os.path.join(OUT, f"{name}.txt")
+        with open(path, "w") as f:
+            f.write(result.render() + "\n")
+        print(f"{name}: written in {time.time() - t0:.1f}s -> {path}")
+
+
+if __name__ == "__main__":
+    main()

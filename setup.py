@@ -1,0 +1,12 @@
+"""Setup shim for offline editable installs.
+
+The sandboxed environment has setuptools but no ``wheel`` package, so the
+PEP 517 editable path (which shells out to ``bdist_wheel``) fails.  This
+shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and
+plain ``python setup.py develop``) work; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

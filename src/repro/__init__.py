@@ -1,0 +1,25 @@
+"""Reproduction of Seo et al., "Big or Little: A Study of Mobile Interactive
+Applications on an Asymmetric Multi-core Platform" (IISWC 2015).
+
+The package provides:
+
+- :mod:`repro.platform` -- an Exynos-5422-like asymmetric SoC model
+  (core types, OPP tables, throughput and power models),
+- :mod:`repro.sim` -- a deterministic 1 ms-tick execution engine,
+- :mod:`repro.sched` -- the HMP scheduler (Algorithm 1) and the interactive
+  DVFS governor (Algorithm 2),
+- :mod:`repro.workloads` -- models of the paper's 12 mobile applications,
+  a SPEC-like CPU suite, and a utilization microbenchmark,
+- :mod:`repro.core` -- the characterization toolkit (TLP, frequency
+  residency, efficiency decomposition, performance/power comparison),
+- :mod:`repro.experiments` -- one runner per paper table/figure.
+
+Quickstart::
+
+    from repro.core.study import CharacterizationStudy
+    study = CharacterizationStudy(seed=7)
+    result = study.characterize("bbench")
+    print(result.tlp, result.big_active_pct)
+"""
+
+__version__ = "1.0.0"

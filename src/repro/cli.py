@@ -1,0 +1,153 @@
+"""Command-line interface: ``biglittle``.
+
+Usage::
+
+    biglittle list                 # list reproducible experiments
+    biglittle run table3           # run one experiment and print it
+    biglittle run fig2 --seed 3
+    biglittle characterize bbench  # full characterization of one app
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.report import render_matrix, render_table
+from repro.core.study import CharacterizationStudy
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.workloads.mobile import MOBILE_APP_NAMES
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [[e.id, e.title] for e in list_experiments()]
+    print(render_table(["id", "title"], rows, title="Reproducible paper artifacts"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.experiment)
+    result = experiment.runner(seed=args.seed)
+    print(result.render())
+    if args.json:
+        from repro.experiments.serialize import dump_result
+
+        dump_result(result, args.json)
+        print(f"\n[json written to {args.json}]")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.study import FPS_APP_SECONDS, LATENCY_APP_CAP_SECONDS
+    from repro.core.taskstats import TaskStatsCollector
+    from repro.platform.chip import exynos5422
+    from repro.sim.engine import SimConfig, Simulator
+    from repro.workloads.base import Metric
+    from repro.workloads.mobile import make_app
+
+    app = make_app(args.app)
+    max_seconds = (
+        FPS_APP_SECONDS if app.metric is Metric.FPS else LATENCY_APP_CAP_SECONDS
+    )
+    sim = Simulator(SimConfig(
+        chip=exynos5422(screen_on=True), max_seconds=max_seconds, seed=args.seed
+    ))
+    profiler = TaskStatsCollector.attach(sim)
+    app.install(sim)
+    trace = sim.run()
+    print(profiler.render(top=args.top))
+    print()
+    print(f"run: {trace.duration_s:.1f} s, {trace.average_power_mw():.0f} mW average")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.summary import app_report
+
+    print(app_report(args.app, seed=args.seed).render())
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.core.study import run_app
+    from repro.core.timeline import render_timeline
+
+    run = run_app(args.app, seed=args.seed)
+    print(render_timeline(run.trace, width=args.width))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    study = CharacterizationStudy(seed=args.seed)
+    c = study.characterize(args.app)
+    s = c.tlp
+    print(
+        render_table(
+            ["idle %", "little %", "big %", "TLP"],
+            [[s.idle_pct, s.little_only_pct, s.big_active_pct, s.tlp]],
+            title=f"{args.app}: TLP statistics",
+        )
+    )
+    print()
+    print(render_matrix(c.matrix, title=f"{args.app}: active-core distribution (%)"))
+    print()
+    e = c.efficiency
+    print(
+        render_table(
+            ["min", "<50%", "50-70%", "70-95%", ">95%", "full"],
+            [e.as_row()],
+            title=f"{args.app}: efficiency decomposition (%)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="biglittle",
+        description="Reproduction toolkit for 'Big or Little' (IISWC 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list reproducible experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment and print its output")
+    p_run.add_argument("experiment", help="experiment id (e.g. table3, fig7)")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the result as JSON")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_char = sub.add_parser("characterize", help="characterize one application")
+    p_char.add_argument("app", choices=MOBILE_APP_NAMES)
+    p_char.add_argument("--seed", type=int, default=0)
+    p_char.set_defaults(func=_cmd_characterize)
+
+    p_prof = sub.add_parser("profile", help="per-task execution profile of one app")
+    p_prof.add_argument("app", choices=MOBILE_APP_NAMES)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--top", type=int, default=15)
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_tl = sub.add_parser("timeline", help="ASCII activity/frequency timeline")
+    p_tl.add_argument("app", choices=MOBILE_APP_NAMES)
+    p_tl.add_argument("--seed", type=int, default=0)
+    p_tl.add_argument("--width", type=int, default=72)
+    p_tl.set_defaults(func=_cmd_timeline)
+
+    p_rep = sub.add_parser("report", help="comprehensive single-app report")
+    p_rep.add_argument("app", choices=MOBILE_APP_NAMES)
+    p_rep.add_argument("--seed", type=int, default=0)
+    p_rep.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Scheduler/governor efficiency decomposition (paper Table V).
+
+The paper classifies every 10 ms interval into six states by how well
+the selected core type and frequency match the observed load:
+
+- ``full``  — a big core at its maximum frequency is >99% utilized: the
+  load exceeds the platform's maximum capacity;
+- ``>95%``  — the current core/frequency setting is >95% utilized (the
+  setting is too low for the load);
+- ``70-95%`` and ``50-70%`` — progressively looser fits;
+- ``<50%``  — under half the provisioned capacity is used (the setting
+  is too high — wasted energy headroom);
+- ``min``   — utilization is below 50% but the active core is a little
+  core already at its minimum frequency: the platform cannot provision
+  any less (the paper's argument for an even smaller "tiny" core).
+
+Utilization of an interval is taken from the *busiest* core active in
+it, since that core's demand is what the scheduler/governor provisioned
+for.  Fully idle intervals are classified by the little cluster's
+current frequency (``min`` if it is parked at minimum, ``<50%``
+otherwise), which makes the six categories a complete partition — the
+paper's rows likewise sum to 100%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.coretypes import CoreType
+from repro.sim.trace import Trace
+from repro.units import TLP_SAMPLE_MS
+
+CATEGORY_NAMES = ["min", "<50%", "50-70%", "70-95%", ">95%", "full"]
+
+
+@dataclass(frozen=True)
+class EfficiencyBreakdown:
+    """Percentages per state, in ``CATEGORY_NAMES`` order (sum to 100)."""
+
+    min_pct: float
+    under_50_pct: float
+    pct_50_70: float
+    pct_70_95: float
+    over_95_pct: float
+    full_pct: float
+
+    def as_row(self) -> list[float]:
+        return [
+            self.min_pct,
+            self.under_50_pct,
+            self.pct_50_70,
+            self.pct_70_95,
+            self.over_95_pct,
+            self.full_pct,
+        ]
+
+
+def efficiency_breakdown(
+    trace: Trace,
+    little_min_khz: int,
+    big_max_khz: int,
+    window_ms: int = TLP_SAMPLE_MS,
+) -> EfficiencyBreakdown:
+    """Classify each 10 ms interval of ``trace`` into the six states."""
+    util = trace.window_utilization(window_ms)
+    n_windows = util.shape[1]
+    if n_windows == 0:
+        return EfficiencyBreakdown(100.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    big_rows = trace.cores_of_type(CoreType.BIG)
+    little_freq = trace.window_freq_khz(CoreType.LITTLE, window_ms)
+    big_freq = trace.window_freq_khz(CoreType.BIG, window_ms)
+
+    counts = dict.fromkeys(CATEGORY_NAMES, 0)
+    busiest = util.argmax(axis=0)
+    peak = util.max(axis=0)
+    big_set = set(big_rows)
+
+    for i in range(n_windows):
+        u = float(peak[i])
+        core = int(busiest[i])
+        on_big = core in big_set
+        if u <= 0.0:
+            # Fully idle: judged against the little cluster's parked state.
+            category = "min" if little_freq[i] == little_min_khz else "<50%"
+        elif on_big and big_freq[i] == big_max_khz and u > 0.99:
+            category = "full"
+        elif u > 0.95:
+            category = ">95%"
+        elif u > 0.70:
+            category = "70-95%"
+        elif u > 0.50:
+            category = "50-70%"
+        elif not on_big and little_freq[i] == little_min_khz:
+            category = "min"
+        else:
+            category = "<50%"
+        counts[category] += 1
+
+    scale = 100.0 / n_windows
+    return EfficiencyBreakdown(
+        min_pct=counts["min"] * scale,
+        under_50_pct=counts["<50%"] * scale,
+        pct_50_70=counts["50-70%"] * scale,
+        pct_70_95=counts["70-95%"] * scale,
+        over_95_pct=counts[">95%"] * scale,
+        full_pct=counts["full"] * scale,
+    )

@@ -1,0 +1,70 @@
+"""Energy-centric metrics: energy per action, per frame, and EDP.
+
+Average power (what the paper's figures report) hides an important
+dimension for battery-operated devices: how much *energy* each unit of
+user-visible work costs.  These helpers turn a run into energy-per-
+deliverable metrics, enabling comparisons like "L4+B1 spends 12% less
+energy per BBench page than L4+B4".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.study import AppRun
+from repro.workloads.base import Metric
+
+
+@dataclass(frozen=True)
+class EnergyMetrics:
+    """Energy accounting for one application run."""
+
+    total_energy_mj: float
+    duration_s: float
+    #: Energy per user action (latency apps) or per frame (FPS apps), mJ.
+    energy_per_unit_mj: float
+    #: Units delivered: actions completed or frames produced.
+    units: int
+    #: Energy-delay product for latency apps (J*s); 0 for FPS apps.
+    energy_delay_js: float
+
+    @property
+    def average_power_mw(self) -> float:
+        if self.duration_s == 0:
+            return 0.0
+        return self.total_energy_mj / self.duration_s
+
+
+def energy_metrics(run: AppRun) -> EnergyMetrics:
+    """Compute energy-per-deliverable metrics for a completed run."""
+    energy_mj = run.energy_mj()
+    duration = run.trace.duration_s
+    if run.metric is Metric.LATENCY:
+        units = len(run.app.logs.actions)
+        latency = run.latency_s()
+        edp = (energy_mj / 1000.0) * latency
+    else:
+        units = len(run.app.logs.frames)
+        edp = 0.0
+    per_unit = energy_mj / units if units else 0.0
+    return EnergyMetrics(
+        total_energy_mj=energy_mj,
+        duration_s=duration,
+        energy_per_unit_mj=per_unit,
+        units=units,
+        energy_delay_js=edp,
+    )
+
+
+def compare_energy(base: AppRun, other: AppRun) -> float:
+    """Percentage change in energy-per-deliverable of ``other`` vs ``base``.
+
+    Negative = ``other`` spends less energy per action/frame.
+    """
+    base_m = energy_metrics(base)
+    other_m = energy_metrics(other)
+    if base_m.energy_per_unit_mj == 0:
+        raise ZeroDivisionError("baseline delivered no actions/frames")
+    return 100.0 * (
+        other_m.energy_per_unit_mj - base_m.energy_per_unit_mj
+    ) / base_m.energy_per_unit_mj

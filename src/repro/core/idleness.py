@@ -1,0 +1,86 @@
+"""Idle-behaviour analysis: wakeup rates and idle-period distributions.
+
+Battery life on mobile devices depends as much on *how* the CPU idles
+as on how it runs: frequent short wakeups ("wakeup storms") keep cores
+out of deep idle states.  This module computes, from a trace:
+
+- the task wakeup rate (wakeups/s),
+- the distribution of system-idle period lengths, and
+- the share of idle time spent in periods long enough for the deep
+  cpuidle state (see ``PowerParams.deep_idle_entry_ms``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.report import render_table
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class IdlenessProfile:
+    """Summary of a run's idle behaviour."""
+
+    wakeups_per_second: float
+    idle_fraction: float
+    idle_periods: int
+    mean_idle_ms: float
+    p95_idle_ms: float
+    #: Share of total idle time inside periods >= deep-entry threshold.
+    deep_idle_share: float
+
+    def render(self) -> str:
+        rows = [[
+            self.wakeups_per_second,
+            100.0 * self.idle_fraction,
+            self.idle_periods,
+            self.mean_idle_ms,
+            self.p95_idle_ms,
+            100.0 * self.deep_idle_share,
+        ]]
+        return render_table(
+            ["wakeups/s", "idle %", "periods", "mean idle ms", "p95 idle ms",
+             "deep-eligible %"],
+            rows,
+            title="Idle-behaviour profile",
+        )
+
+
+def idle_period_lengths_ms(trace: Trace) -> np.ndarray:
+    """Lengths (ms) of maximal fully-idle runs of ticks."""
+    idle = trace.busy.sum(axis=0) <= 0.0
+    if idle.size == 0:
+        return np.zeros(0)
+    # Find run boundaries of the boolean sequence.
+    change = np.flatnonzero(np.diff(idle.astype(np.int8)))
+    starts = np.concatenate(([0], change + 1))
+    ends = np.concatenate((change + 1, [idle.size]))
+    lengths = ends - starts
+    values = idle[starts]
+    tick_ms = trace.tick_s * 1000.0
+    return lengths[values] * tick_ms
+
+
+def idleness_profile(trace: Trace, deep_entry_ms: float = 10.0) -> IdlenessProfile:
+    """Compute the idle-behaviour summary for one run."""
+    periods = idle_period_lengths_ms(trace)
+    total_ticks = len(trace)
+    idle_ms = float(periods.sum())
+    total_ms = total_ticks * trace.tick_s * 1000.0
+    if periods.size:
+        deep_ms = float(periods[periods >= deep_entry_ms].sum())
+        mean_idle = float(periods.mean())
+        p95 = float(np.percentile(periods, 95))
+    else:
+        deep_ms = mean_idle = p95 = 0.0
+    return IdlenessProfile(
+        wakeups_per_second=trace.wakeups_per_second(),
+        idle_fraction=idle_ms / total_ms if total_ms else 0.0,
+        idle_periods=int(periods.size),
+        mean_idle_ms=mean_idle,
+        p95_idle_ms=p95,
+        deep_idle_share=deep_ms / idle_ms if idle_ms else 0.0,
+    )

@@ -1,0 +1,84 @@
+"""Interactivity analysis: per-action latency distributions.
+
+The paper reports total script latency per app; responsiveness research
+usually cares about the *distribution* — the slow tail is what users
+notice.  This module computes per-action latencies and percentile
+summaries from an app's action log, and classifies actions against a
+perceptual budget (a common HCI threshold is ~200 ms for direct
+manipulation feedback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.report import render_table
+from repro.workloads.base import App, Metric
+
+#: Default user-perceptual budget for one interaction.
+PERCEPTUAL_BUDGET_S = 0.2
+
+
+@dataclass(frozen=True)
+class LatencyDistribution:
+    """Summary of per-action latencies for one run."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p90_s: float
+    p99_s: float
+    worst_s: float
+    worst_action: str
+    over_budget: int
+    budget_s: float
+
+    @property
+    def over_budget_pct(self) -> float:
+        return 100.0 * self.over_budget / self.count if self.count else 0.0
+
+    def render(self) -> str:
+        rows = [[
+            self.count, self.mean_s, self.p50_s, self.p90_s, self.p99_s,
+            self.worst_s, self.worst_action, self.over_budget_pct,
+        ]]
+        return render_table(
+            ["actions", "mean s", "p50", "p90", "p99", "worst", "worst action",
+             f">{self.budget_s:.1f}s %"],
+            rows,
+            title="Per-action latency distribution",
+        )
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile on an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[int(rank)]
+
+
+def latency_distribution(
+    app: App, budget_s: float = PERCEPTUAL_BUDGET_S
+) -> LatencyDistribution:
+    """Compute the action-latency distribution from a completed run."""
+    if app.metric is not Metric.LATENCY:
+        raise ValueError(f"{app.name} is not a latency-oriented app")
+    actions = app.logs.actions
+    if not actions:
+        return LatencyDistribution(0, 0.0, 0.0, 0.0, 0.0, 0.0, "-", 0, budget_s)
+    latencies = sorted(end - start for _, start, end in actions)
+    worst_name, worst_latency = max(
+        ((name, end - start) for name, start, end in actions), key=lambda x: x[1]
+    )
+    return LatencyDistribution(
+        count=len(latencies),
+        mean_s=sum(latencies) / len(latencies),
+        p50_s=_percentile(latencies, 0.50),
+        p90_s=_percentile(latencies, 0.90),
+        p99_s=_percentile(latencies, 0.99),
+        worst_s=worst_latency,
+        worst_action=worst_name,
+        over_budget=sum(1 for l in latencies if l > budget_s),
+        budget_s=budget_s,
+    )

@@ -1,0 +1,77 @@
+"""ASCII rendering of tables and bar charts for experiment output.
+
+The experiment runners print their results in the same layout as the
+paper's tables and figures; these helpers keep the formatting uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render a simple aligned text table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def render_matrix(
+    matrix, row_label: str = "Big", col_label: str = "Little", title: str = ""
+) -> str:
+    """Render a Table-IV-style percentage matrix."""
+    n_rows, n_cols = matrix.shape
+    headers = [f"{row_label}\\{col_label}"] + [f"C{i}" for i in range(n_cols)]
+    rows = []
+    for b in range(n_rows):
+        rows.append([f"C{b}"] + [float(matrix[b, c]) for c in range(n_cols)])
+    return render_table(headers, rows, title=title)
+
+
+def render_bar(value: float, scale: float = 1.0, width: int = 40) -> str:
+    """A single horizontal bar for quick-look 'figures'."""
+    filled = max(0, min(width, int(round(value * scale))))
+    return "#" * filled
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    unit: str = "",
+    width: int = 40,
+) -> str:
+    """Render labelled horizontal bars, auto-scaled to ``width``."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    peak = max((abs(v) for v in values), default=0.0)
+    scale = width / peak if peak > 0 else 0.0
+    label_w = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = render_bar(abs(value), scale, width)
+        lines.append(f"{label.rjust(label_w)}  {value:10.2f}{unit}  {bar}")
+    return "\n".join(lines)

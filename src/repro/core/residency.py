@@ -1,0 +1,41 @@
+"""Per-cluster frequency residency over active periods (Figures 9, 10).
+
+The paper's Figures 9 and 10 show, for each application, the
+distribution of little- and big-cluster frequencies over the periods
+when a core of that cluster was *active* ("The distribution only
+includes active periods for each core, ignoring idle cycles").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.platform.coretypes import CoreType
+from repro.sim.trace import Trace
+
+
+def frequency_residency(trace: Trace, core_type: CoreType) -> dict[int, float]:
+    """Percentage of active ticks spent at each frequency (kHz -> %).
+
+    A tick counts as active for the cluster if any core of that type
+    executed during it.  Returns an empty dict if the cluster was never
+    active (e.g. big cores disabled or unused).
+    """
+    rows = trace.cores_of_type(core_type)
+    if not rows or len(trace) == 0:
+        return {}
+    busy = trace.busy[rows]
+    active = busy.max(axis=0) > 0.0
+    n_active = int(active.sum())
+    if n_active == 0:
+        return {}
+    freqs = trace.freq_khz(core_type)[active]
+    values, counts = np.unique(freqs, return_counts=True)
+    return {int(f): 100.0 * int(c) / n_active for f, c in zip(values, counts)}
+
+
+def residency_buckets(
+    residency: dict[int, float], opp_freqs: tuple[int, ...]
+) -> list[float]:
+    """Expand a residency dict to a dense per-OPP percentage list."""
+    return [residency.get(f, 0.0) for f in opp_freqs]

@@ -1,0 +1,164 @@
+"""High-level API: run an application and characterize it.
+
+:func:`run_app` runs one of the Table II applications under a chosen
+platform/scheduler configuration and returns an :class:`AppRun` with the
+trace and the app's performance metric.  :class:`CharacterizationStudy`
+wraps it with the full paper analysis (TLP, matrices, residency,
+efficiency) and caches runs so that several analyses of the same app
+share one simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.platform.chip import ChipSpec, CoreConfig, exynos5422
+from repro.platform.coretypes import CoreType
+from repro.sched.params import SchedulerConfig, baseline_config
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.trace import Trace
+from repro.core.efficiency import EfficiencyBreakdown, efficiency_breakdown
+from repro.core.residency import frequency_residency
+from repro.core.tlp import TLPStats, tlp_stats
+from repro.core.tlp_matrix import tlp_matrix
+from repro.workloads.base import App, Metric
+from repro.workloads.mobile import make_app
+
+#: Wall-clock cap for FPS-oriented apps (they run steady-state loops).
+FPS_APP_SECONDS = 12.0
+
+#: Safety cap for latency-oriented apps (they stop at end of script).
+LATENCY_APP_CAP_SECONDS = 60.0
+
+
+@dataclass
+class AppRun:
+    """One completed application run."""
+
+    app: App
+    trace: Trace
+    config_label: str
+
+    @property
+    def name(self) -> str:
+        return self.app.name
+
+    @property
+    def metric(self) -> Metric:
+        return self.app.metric
+
+    def latency_s(self) -> float:
+        return self.app.latency_s()
+
+    def avg_fps(self) -> float:
+        return self.app.avg_fps()
+
+    def min_fps(self) -> float:
+        return self.app.min_fps()
+
+    def avg_power_mw(self) -> float:
+        return float(self.trace.average_power_mw())
+
+    def energy_mj(self) -> float:
+        return self.trace.energy_mj()
+
+
+def run_app(
+    name: str,
+    chip: Optional[ChipSpec] = None,
+    core_config: Optional[CoreConfig] = None,
+    scheduler: Optional[SchedulerConfig] = None,
+    seed: int = 0,
+    max_seconds: Optional[float] = None,
+    app: Optional[App] = None,
+    scheduler_factory=None,
+) -> AppRun:
+    """Run one Table II application and return the completed run.
+
+    ``max_seconds`` defaults to the app-family convention: FPS apps run
+    a fixed 12 s steady-state window; latency apps run to the end of
+    their user-action script (capped at 60 s).  The default chip has
+    the screen on, matching the paper's interactive-app power
+    measurements.
+    """
+    chip = chip or exynos5422(screen_on=True)
+    scheduler = scheduler or baseline_config()
+    app = app or make_app(name)
+    if max_seconds is None:
+        max_seconds = (
+            FPS_APP_SECONDS if app.metric is Metric.FPS else LATENCY_APP_CAP_SECONDS
+        )
+    config = SimConfig(
+        chip=chip,
+        core_config=core_config,
+        scheduler=scheduler,
+        scheduler_factory=scheduler_factory,
+        max_seconds=max_seconds,
+        seed=seed,
+    )
+    sim = Simulator(config)
+    app.install(sim)
+    trace = sim.run()
+    label = config.core_config.label() if config.core_config else "default"
+    return AppRun(app=app, trace=trace, config_label=label)
+
+
+@dataclass
+class AppCharacterization:
+    """All per-app paper analyses computed from one run."""
+
+    run: AppRun
+    tlp: TLPStats
+    matrix: np.ndarray
+    little_residency: dict[int, float]
+    big_residency: dict[int, float]
+    efficiency: EfficiencyBreakdown
+
+
+class CharacterizationStudy:
+    """Runs and caches application characterizations (paper Sections V-VI)."""
+
+    def __init__(
+        self,
+        chip: Optional[ChipSpec] = None,
+        scheduler: Optional[SchedulerConfig] = None,
+        seed: int = 0,
+    ):
+        self.chip = chip or exynos5422(screen_on=True)
+        self.scheduler = scheduler or baseline_config()
+        self.seed = seed
+        self._cache: dict[str, AppCharacterization] = {}
+
+    #: Launch transient excluded from steady-state analyses.
+    WARMUP_S = 1.0
+
+    def characterize(self, app_name: str) -> AppCharacterization:
+        """Run ``app_name`` under the default full configuration and analyze.
+
+        The first second of the trace (cold-start transient while the
+        governor and load averages converge) is excluded from the
+        steady-state analyses, matching the paper's in-use methodology.
+        """
+        if app_name in self._cache:
+            return self._cache[app_name]
+        run = run_app(
+            app_name, chip=self.chip, scheduler=self.scheduler, seed=self.seed
+        )
+        steady = run.trace.trimmed(self.WARMUP_S)
+        result = AppCharacterization(
+            run=run,
+            tlp=tlp_stats(steady),
+            matrix=tlp_matrix(steady),
+            little_residency=frequency_residency(steady, CoreType.LITTLE),
+            big_residency=frequency_residency(steady, CoreType.BIG),
+            efficiency=efficiency_breakdown(
+                steady,
+                little_min_khz=self.chip.little_cluster.opp_table.min_khz,
+                big_max_khz=self.chip.big_cluster.opp_table.max_khz,
+            ),
+        )
+        self._cache[app_name] = result
+        return result

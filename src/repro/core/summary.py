@@ -1,0 +1,130 @@
+"""One-call comprehensive app report: everything the toolkit knows.
+
+Combines the characterization (TLP, matrix, residency, efficiency) with
+per-task profiling, energy accounting, idle behaviour, power breakdown,
+latency distribution (latency apps), and the ASCII timeline into a
+single rendered report — the ``biglittle report <app>`` command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.energy import EnergyMetrics, energy_metrics
+from repro.core.idleness import IdlenessProfile, idleness_profile
+from repro.core.interactivity import LatencyDistribution, latency_distribution
+from repro.core.power_breakdown import PowerBreakdown, power_breakdown
+from repro.core.report import render_matrix, render_table
+from repro.core.study import (
+    FPS_APP_SECONDS,
+    LATENCY_APP_CAP_SECONDS,
+    AppRun,
+)
+from repro.core.taskstats import TaskStatsCollector
+from repro.core.timeline import render_timeline
+from repro.core.tlp import TLPStats, tlp_stats
+from repro.core.tlp_matrix import tlp_matrix
+from repro.core.efficiency import CATEGORY_NAMES, efficiency_breakdown
+from repro.platform.chip import ChipSpec, exynos5422
+from repro.sched.params import SchedulerConfig, baseline_config
+from repro.sim.engine import SimConfig, Simulator
+from repro.workloads.base import Metric
+from repro.workloads.mobile import make_app
+
+WARMUP_S = 1.0
+
+
+@dataclass
+class AppReport:
+    """Everything measured about one run."""
+
+    run: AppRun
+    tlp: TLPStats
+    matrix: object
+    efficiency: object
+    energy: EnergyMetrics
+    idleness: IdlenessProfile
+    breakdown: PowerBreakdown
+    profiler: TaskStatsCollector
+    latency_dist: Optional[LatencyDistribution]
+
+    def render(self, timeline_width: int = 72) -> str:
+        run = self.run
+        parts = [f"=== {run.name} ({run.metric.value} app, {run.config_label}) ==="]
+        if run.metric is Metric.LATENCY:
+            perf = f"script latency {run.latency_s():.2f} s over {self.energy.units} actions"
+        else:
+            perf = f"{run.avg_fps():.1f} fps average, {run.min_fps():.1f} fps minimum"
+        parts.append(
+            f"{perf}; {run.avg_power_mw():.0f} mW average, "
+            f"{self.energy.total_energy_mj / 1000:.1f} J total"
+        )
+        parts.append("")
+        s = self.tlp
+        parts.append(render_table(
+            ["idle %", "little %", "big %", "TLP"],
+            [[s.idle_pct, s.little_only_pct, s.big_active_pct, s.tlp]],
+            title="TLP statistics (steady state)",
+        ))
+        parts.append("")
+        parts.append(render_matrix(self.matrix, title="Active-core distribution (%)"))
+        parts.append("")
+        parts.append(render_table(
+            CATEGORY_NAMES, [self.efficiency.as_row()],
+            title="Efficiency decomposition (%)",
+        ))
+        parts.append("")
+        parts.append(self.breakdown.render())
+        parts.append("")
+        parts.append(self.idleness.render())
+        if self.latency_dist is not None:
+            parts.append("")
+            parts.append(self.latency_dist.render())
+        parts.append("")
+        parts.append(self.profiler.render(top=10))
+        parts.append("")
+        parts.append(render_timeline(run.trace, width=timeline_width))
+        return "\n".join(parts)
+
+
+def app_report(
+    app_name: str,
+    chip: Optional[ChipSpec] = None,
+    scheduler: Optional[SchedulerConfig] = None,
+    seed: int = 0,
+) -> AppReport:
+    """Run ``app_name`` once and compute the full report."""
+    chip = chip or exynos5422(screen_on=True)
+    scheduler = scheduler or baseline_config()
+    app = make_app(app_name)
+    max_seconds = (
+        FPS_APP_SECONDS if app.metric is Metric.FPS else LATENCY_APP_CAP_SECONDS
+    )
+    sim = Simulator(SimConfig(
+        chip=chip, scheduler=scheduler, max_seconds=max_seconds, seed=seed
+    ))
+    profiler = TaskStatsCollector.attach(sim)
+    app.install(sim)
+    trace = sim.run()
+    run = AppRun(app=app, trace=trace, config_label="L4+B4")
+    steady = trace.trimmed(WARMUP_S)
+    return AppReport(
+        run=run,
+        tlp=tlp_stats(steady),
+        matrix=tlp_matrix(steady),
+        efficiency=efficiency_breakdown(
+            steady,
+            little_min_khz=chip.little_cluster.opp_table.min_khz,
+            big_max_khz=chip.big_cluster.opp_table.max_khz,
+        ),
+        energy=energy_metrics(run),
+        idleness=idleness_profile(
+            steady, deep_entry_ms=chip.power_model.params.deep_idle_entry_ms
+        ),
+        breakdown=power_breakdown(steady, chip.power_model.params),
+        profiler=profiler,
+        latency_dist=(
+            latency_distribution(app) if app.metric is Metric.LATENCY else None
+        ),
+    )

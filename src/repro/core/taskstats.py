@@ -1,0 +1,147 @@
+"""Per-task execution statistics — a `perf sched`-like profile.
+
+The trace records per-core activity; this module records *per-task*
+placement over time: CPU seconds by core type, migration counts, and
+load-average trajectories.  It answers questions the paper's analysis
+raises but aggregates away — e.g. *which* thread of an app earns its
+big-core time, and how often the HMP scheduler bounces it.
+
+Statistics are collected by an engine hook, so they reflect exactly
+what ran (not a post-hoc reconstruction)::
+
+    sim = Simulator(config)
+    stats = TaskStatsCollector.attach(sim)
+    app.install(sim)
+    sim.run()
+    print(stats.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.report import render_table
+from repro.platform.coretypes import CoreType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.task import Task
+
+
+@dataclass
+class TaskStats:
+    """Accumulated execution statistics for one task."""
+
+    name: str
+    tid: int
+    busy_little_s: float = 0.0
+    busy_big_s: float = 0.0
+    migrations: int = 0
+    max_load: float = 0.0
+    load_sum: float = 0.0
+    load_samples: int = 0
+    #: CPU energy attributed to this task (its share of the running
+    #: cores' static+dynamic power while it executed), in millijoules.
+    energy_mj: float = 0.0
+
+    @property
+    def busy_s(self) -> float:
+        return self.busy_little_s + self.busy_big_s
+
+    @property
+    def big_share(self) -> float:
+        """Fraction of this task's CPU time spent on big cores."""
+        total = self.busy_s
+        return self.busy_big_s / total if total > 0 else 0.0
+
+    @property
+    def mean_load(self) -> float:
+        return self.load_sum / self.load_samples if self.load_samples else 0.0
+
+
+class TaskStatsCollector:
+    """Engine hook accumulating per-task statistics every tick."""
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+        self._stats: dict[int, TaskStats] = {}
+
+    @classmethod
+    def attach(cls, sim: "Simulator") -> "TaskStatsCollector":
+        collector = cls(sim)
+        sim.add_tick_hook(collector.on_tick)
+        return collector
+
+    def on_tick(self, sim: "Simulator") -> None:
+        pm = sim.config.chip.power_model
+        for core in sim.cores:
+            if not core.enabled or not core.tick_tasks:
+                continue
+            is_big = core.core_type is CoreType.BIG
+            domain = sim.domains[core.core_type]
+            # Marginal power of running this core (vs leaving it idle),
+            # attributed to its tasks proportionally to CPU time.
+            run_mw = pm.core_power_mw(
+                core.core_type, core.freq_khz, domain.voltage_v(), 1.0,
+                core.mean_activity_factor(),
+            ) - pm.core_power_mw(
+                core.core_type, core.freq_khz, domain.voltage_v(), 0.0
+            )
+            for task in core.tick_tasks:
+                stats = self._stats.get(task.tid)
+                if stats is None:
+                    stats = self._stats[task.tid] = TaskStats(task.name, task.tid)
+                if is_big:
+                    stats.busy_big_s += task.busy_in_tick_s
+                else:
+                    stats.busy_little_s += task.busy_in_tick_s
+                stats.energy_mj += task.busy_in_tick_s * run_mw
+                stats.migrations = task.migrations
+                if task.load is not None:
+                    load = task.load.value
+                    stats.max_load = max(stats.max_load, load)
+                    stats.load_sum += load
+                    stats.load_samples += 1
+
+    # -- results ---------------------------------------------------------
+
+    def stats(self) -> list[TaskStats]:
+        """All task stats, busiest first."""
+        return sorted(self._stats.values(), key=lambda s: -s.busy_s)
+
+    def by_name(self, name: str) -> TaskStats:
+        for stats in self._stats.values():
+            if stats.name == name:
+                return stats
+        raise KeyError(f"no statistics for task {name!r}")
+
+    def total_busy_s(self) -> float:
+        return sum(s.busy_s for s in self._stats.values())
+
+    def big_core_consumers(self, threshold: float = 0.5) -> list[TaskStats]:
+        """Tasks that spent over ``threshold`` of their CPU time on big."""
+        return [s for s in self.stats() if s.busy_s > 0 and s.big_share > threshold]
+
+    def total_energy_mj(self) -> float:
+        """CPU energy attributed across all tasks (excludes idle leakage)."""
+        return sum(s.energy_mj for s in self._stats.values())
+
+    def render(self, top: int = 15) -> str:
+        rows = [
+            [
+                s.name,
+                s.busy_s,
+                100.0 * s.big_share,
+                s.energy_mj,
+                s.migrations,
+                s.mean_load,
+                s.max_load,
+            ]
+            for s in self.stats()[:top]
+        ]
+        return render_table(
+            ["task", "cpu (s)", "big %", "mJ", "migr", "mean load", "max load"],
+            rows,
+            title="Per-task execution profile",
+        )

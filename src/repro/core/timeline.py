@@ -1,0 +1,79 @@
+"""ASCII timeline rendering of a trace: per-core activity + frequencies.
+
+A quick-look `systrace`-style view for terminals.  Each row is one
+core; columns are time buckets; cell glyphs encode the bucket's busy
+fraction.  Frequency sparklines for the two clusters and a power
+sparkline run below.
+
+Example (``biglittle timeline bbench``)::
+
+    L0 |▃▅▇██▇▂  ▁▂▆██▅ |
+    ...
+    B0 |   ▇██▆     ▇█▃ |
+    little GHz |▂▂▅▇▇▅▂...|
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.platform.coretypes import CoreType
+from repro.sim.trace import Trace
+
+#: Glyph ramp for 0..1 levels (space = idle).
+LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def _bucketize(series: np.ndarray, width: int) -> np.ndarray:
+    """Average ``series`` into ``width`` buckets."""
+    n = len(series)
+    if n == 0:
+        return np.zeros(width)
+    edges = np.linspace(0, n, width + 1).astype(int)
+    return np.array([
+        series[a:b].mean() if b > a else 0.0 for a, b in zip(edges[:-1], edges[1:])
+    ])
+
+
+def sparkline(series: np.ndarray, width: int, lo: float, hi: float) -> str:
+    """Render ``series`` as a glyph string scaled from [lo, hi]."""
+    bucketed = _bucketize(np.asarray(series, dtype=np.float64), width)
+    if hi <= lo:
+        return LEVELS[0] * width
+    norm = np.clip((bucketed - lo) / (hi - lo), 0.0, 1.0)
+    return "".join(LEVELS[int(round(v * (len(LEVELS) - 1)))] for v in norm)
+
+
+def render_timeline(trace: Trace, width: int = 72) -> str:
+    """Render the whole trace as an ASCII timeline."""
+    if len(trace) == 0:
+        return "(empty trace)"
+    lines = []
+    labels = {CoreType.LITTLE: "L", CoreType.BIG: "B"}
+    counters: dict[CoreType, int] = {CoreType.LITTLE: 0, CoreType.BIG: 0}
+    for core_index, core_type in enumerate(trace.core_types):
+        idx = counters[core_type]
+        counters[core_type] += 1
+        if not trace.enabled[core_index]:
+            continue
+        row = sparkline(trace.busy[core_index], width, 0.0, 1.0)
+        lines.append(f"{labels[core_type]}{idx} busy   |{row}|")
+
+    for core_type, label in ((CoreType.LITTLE, "little"), (CoreType.BIG, "big")):
+        freq = trace.freq_khz(core_type).astype(np.float64)
+        if freq.max() > 0:
+            lines.append(
+                f"{label:>7s} f |"
+                + sparkline(freq, width, 0.0, float(freq.max()))
+                + f"| max {freq.max() / 1e6:.1f} GHz"
+            )
+
+    power = trace.power_mw
+    lines.append(
+        "  power   |"
+        + sparkline(power, width, 0.0, float(power.max()))
+        + f"| peak {power.max():.0f} mW"
+    )
+    seconds = trace.duration_s
+    lines.append(f"  span: {seconds:.2f} s, {width} buckets of {seconds / width * 1000:.0f} ms")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Thread-level parallelism metrics (paper Table III).
+
+The paper uses the TLP metric of Blake et al. [ISCA 2010]: the average
+number of active cores over the *non-idle* sampling intervals.  CPU
+state is sampled every 10 ms; a core is "active" in an interval if it
+executed at all during it.
+
+Table III's columns (cross-checked against the Table IV joint
+distributions, which they must be consistent with):
+
+- **idle** — percentage of intervals in which no core is active;
+- **little** / **big** — the share of *active core-samples* contributed
+  by little vs. big cores (they sum to 100).  E.g. an interval with two
+  little cores and one big core active contributes 2 little and 1 big
+  core-samples.  (Summing Table IV for PDF Reader this way yields
+  86.9% / 13.1% and TLP 2.06 — exactly the Table III row.)
+- **TLP** — mean active-core count over the non-idle intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.coretypes import CoreType
+from repro.sim.trace import Trace
+from repro.units import TLP_SAMPLE_MS
+
+
+@dataclass(frozen=True)
+class TLPStats:
+    """Idle percentage, core-type shares, and the TLP value."""
+
+    idle_pct: float
+    little_only_pct: float
+    big_active_pct: float
+    tlp: float
+    n_windows: int
+
+    def as_row(self) -> list[float]:
+        return [self.idle_pct, self.little_only_pct, self.big_active_pct, self.tlp]
+
+
+def tlp_stats(trace: Trace, window_ms: int = TLP_SAMPLE_MS) -> TLPStats:
+    """Compute Table III statistics for one run."""
+    active = trace.active_samples(window_ms)
+    n_windows = active.shape[1]
+    if n_windows == 0:
+        return TLPStats(100.0, 0.0, 0.0, 0.0, 0)
+
+    little_rows = trace.cores_of_type(CoreType.LITTLE)
+    big_rows = trace.cores_of_type(CoreType.BIG)
+    any_active = active.any(axis=0)
+    n_active = int(any_active.sum())
+    idle_pct = 100.0 * (n_windows - n_active) / n_windows
+    if n_active == 0:
+        return TLPStats(idle_pct, 0.0, 0.0, 0.0, n_windows)
+
+    little_samples = int(active[little_rows].sum()) if little_rows else 0
+    big_samples = int(active[big_rows].sum()) if big_rows else 0
+    total_samples = little_samples + big_samples
+    little_pct = 100.0 * little_samples / total_samples
+    big_pct = 100.0 * big_samples / total_samples
+
+    tlp = total_samples / n_active
+    return TLPStats(idle_pct, little_pct, big_pct, tlp, n_windows)

@@ -1,0 +1,38 @@
+"""Joint (big, little) active-core-count distribution (paper Table IV).
+
+Each cell ``[b][l]`` is the percentage of 10 ms sampling intervals in
+which exactly ``b`` big cores and ``l`` little cores were active; cell
+``[0][0]`` is therefore the idle percentage, matching the paper's
+presentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.platform.coretypes import CoreType
+from repro.sim.trace import Trace
+from repro.units import TLP_SAMPLE_MS
+
+
+def tlp_matrix(trace: Trace, window_ms: int = TLP_SAMPLE_MS) -> np.ndarray:
+    """Percentage matrix of shape (n_big+1, n_little+1).
+
+    Row index = number of active big cores; column index = number of
+    active little cores.  Entries sum to 100 (up to rounding).
+    """
+    active = trace.active_samples(window_ms)
+    little_rows = trace.cores_of_type(CoreType.LITTLE)
+    big_rows = trace.cores_of_type(CoreType.BIG)
+    n_little, n_big = len(little_rows), len(big_rows)
+    matrix = np.zeros((n_big + 1, n_little + 1), dtype=np.float64)
+    n_windows = active.shape[1]
+    if n_windows == 0:
+        matrix[0, 0] = 100.0
+        return matrix
+
+    little_counts = active[little_rows].sum(axis=0) if little_rows else np.zeros(n_windows, dtype=int)
+    big_counts = active[big_rows].sum(axis=0) if big_rows else np.zeros(n_windows, dtype=int)
+    for b, l in zip(big_counts, little_counts):
+        matrix[int(b), int(l)] += 1.0
+    return matrix * (100.0 / n_windows)

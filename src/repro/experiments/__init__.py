@@ -1,0 +1,11 @@
+"""Experiment runners: one per table/figure of the paper's evaluation.
+
+Each module exposes a ``run_*`` function returning a result dataclass
+with a ``render()`` method that prints the same rows/series the paper
+reports.  :mod:`repro.experiments.registry` maps experiment ids
+(``fig2`` ... ``fig13``, ``table3`` ... ``table5``) to their runners.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]

@@ -1,0 +1,74 @@
+"""Extension: race-to-idle vs crawl — the energy-optimal fixed frequency.
+
+A classic DVFS question the paper's governor implicitly answers: for a
+fixed batch of work, is it cheaper to run fast and idle (race-to-idle)
+or slow and steady?  We run a fixed-size kernel at every fixed
+frequency of each core type and report total energy to completion.
+
+Expected shape: total energy is U-shaped (or monotone) in frequency —
+at low frequencies the job stretches out and pays base/leakage power
+for longer; at high frequencies dynamic power (∝V²f) dominates.  With
+a non-trivial base power the optimum sits well above the minimum
+frequency, which is exactly why governors do not simply crawl.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import render_table
+from repro.platform.chip import ChipSpec, exynos5422
+from repro.platform.coretypes import CoreType
+from repro.experiments.common import run_spec_kernel
+from repro.workloads.spec import SpecBenchmark, spec_benchmark
+
+
+@dataclass
+class EnergyFreqResult:
+    """energy_mj[core_type][freq_khz] for the fixed workload."""
+
+    energy_mj: dict[CoreType, dict[int, float]] = field(default_factory=dict)
+    elapsed_s: dict[CoreType, dict[int, float]] = field(default_factory=dict)
+
+    def optimal_khz(self, core_type: CoreType) -> int:
+        table = self.energy_mj[core_type]
+        return min(table, key=lambda f: table[f])
+
+    def render(self) -> str:
+        parts = []
+        for core_type, table in self.energy_mj.items():
+            rows = [
+                [f / 1e6, self.elapsed_s[core_type][f], table[f]]
+                for f in sorted(table)
+            ]
+            parts.append(render_table(
+                ["GHz", "elapsed s", "energy mJ"],
+                rows,
+                title=(f"Extension: energy to complete fixed work on one "
+                       f"{core_type} core (optimum {self.optimal_khz(core_type) / 1e6:.1f} GHz)"),
+                float_fmt="{:.1f}",
+            ))
+        return "\n\n".join(parts)
+
+
+def run_energy_frequency_sweep(
+    kernel: str = "hmmer",
+    total_units: float = 2.0,
+    chip: ChipSpec | None = None,
+    seed: int = 0,
+) -> EnergyFreqResult:
+    chip = chip or exynos5422()
+    bench = spec_benchmark(kernel)
+    sized = SpecBenchmark(bench.name, bench.work_class, total_units=total_units)
+    result = EnergyFreqResult()
+    for core_type in (CoreType.LITTLE, CoreType.BIG):
+        table = chip.cluster(core_type).opp_table
+        result.energy_mj[core_type] = {}
+        result.elapsed_s[core_type] = {}
+        for freq in table.frequencies_khz:
+            elapsed, power, trace = run_spec_kernel(
+                sized, core_type, freq, chip, seed, max_seconds=60.0
+            )
+            result.energy_mj[core_type][freq] = trace.energy_mj()
+            result.elapsed_s[core_type][freq] = elapsed
+    return result

@@ -1,0 +1,101 @@
+"""Extension: games as CPU+GPU pipelines.
+
+The paper measures whole-system power but analyzes only the CPU side;
+on a real phone the GPU is often the bigger consumer during games.
+This experiment runs a game-shaped frame pipeline with the GPU model
+enabled, sweeping the per-frame GPU load, and reports where the
+pipeline becomes GPU-bound and how the power budget splits.
+
+Expected shape: light GPU frames leave FPS CPU-determined at ~60; as
+per-frame GPU work approaches the GPU's vsync capacity the device
+saturates, FPS collapses toward ``1 / gpu_frame_time``, and GPU power
+overtakes the CPU clusters'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import render_table
+from repro.platform.chip import exynos5422
+from repro.platform.coretypes import CoreType
+from repro.platform.gpu import GpuSpec
+from repro.platform.perfmodel import WorkClass
+from repro.sched.params import baseline_config
+from repro.sim.engine import SimConfig, Simulator
+from repro.workloads.base import App, FramePipelineSpec, Metric
+
+GAME = WorkClass("gpu-game", compute_fraction=0.85, wss_kb=512, ilp=0.6)
+
+
+class _GpuGame(App):
+    """A game whose frames carry a configurable GPU load."""
+
+    def __init__(self, gpu_units: float):
+        super().__init__("gpu-game", Metric.FPS, GAME,
+                         ambient_ui_duty=0.0, ambient_bg_interval_ms=300)
+        self.gpu_units = gpu_units
+
+    def build(self, sim: Simulator) -> None:
+        self.add_frame_pipeline(sim, FramePipelineSpec(
+            logic_units=0.0035, render_units=0.0040, units_sigma=0.25,
+            gpu_units=self.gpu_units))
+
+
+@dataclass
+class GpuSweepResult:
+    """Per-GPU-load FPS and power split."""
+
+    fps: dict[float, float] = field(default_factory=dict)
+    gpu_power_mw: dict[float, float] = field(default_factory=dict)
+    cpu_power_mw: dict[float, float] = field(default_factory=dict)
+    gpu_busy_fraction: dict[float, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = [
+            [
+                load * 1000.0,
+                self.fps[load],
+                self.gpu_busy_fraction[load] * 100.0,
+                self.cpu_power_mw[load],
+                self.gpu_power_mw[load],
+            ]
+            for load in sorted(self.fps)
+        ]
+        return render_table(
+            ["GPU ms/frame", "fps", "GPU busy %", "CPU mW", "GPU mW"],
+            rows,
+            title="Extension: frame GPU load sweep (GPU ms at max GPU clock)",
+            float_fmt="{:.1f}",
+        )
+
+
+def run_gpu_sweep(
+    gpu_loads: list[float] | None = None, seed: int = 0
+) -> GpuSweepResult:
+    """Sweep per-frame GPU work (units = seconds at max GPU clock)."""
+    gpu_loads = gpu_loads if gpu_loads is not None else [
+        0.004, 0.008, 0.012, 0.016, 0.022, 0.030,
+    ]
+    result = GpuSweepResult()
+    for load in gpu_loads:
+        sim = Simulator(SimConfig(
+            chip=exynos5422(screen_on=True),
+            scheduler=baseline_config(),
+            gpu=GpuSpec(),
+            max_seconds=10.0,
+            seed=seed,
+        ))
+        app = _GpuGame(load)
+        app.install(sim)
+        trace = sim.run()
+        assert sim.gpu is not None
+        result.fps[load] = app.avg_fps()
+        result.gpu_busy_fraction[load] = sim.gpu.total_busy_s / trace.duration_s
+        result.gpu_power_mw[load] = sim.gpu.energy_mj / trace.duration_s
+        cpu = (
+            trace.cpu_power_mw(CoreType.LITTLE).mean()
+            + trace.cpu_power_mw(CoreType.BIG).mean()
+        )
+        result.cpu_power_mw[load] = float(cpu)
+    return result

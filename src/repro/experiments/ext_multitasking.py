@@ -1,0 +1,114 @@
+"""Extension: multitasking — what background services do to the picture.
+
+The paper's single-app TLP numbers partly reflect the one-app-at-a-time
+usage of phones.  Here each scenario runs a foreground app together
+with background services (music decode, a large download) and compares
+TLP, big-core usage, power, and the foreground metric against the solo
+run.
+
+Expected shape: TLP and power rise with background load, the idle share
+collapses, and the foreground app's performance barely moves — the
+under-used little cores absorb the services, which is precisely the
+headroom the paper's Table III identified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import render_table
+from repro.core.study import FPS_APP_SECONDS, LATENCY_APP_CAP_SECONDS
+from repro.core.tlp import TLPStats, tlp_stats
+from repro.platform.chip import exynos5422
+from repro.sched.params import baseline_config
+from repro.sim.engine import SimConfig, Simulator
+from repro.workloads.base import App, Metric
+from repro.workloads.mobile import make_app
+from repro.workloads.scenarios import SCENARIOS, Scenario
+
+
+@dataclass
+class ScenarioOutcome:
+    """Solo vs multitasking measurements for one scenario."""
+
+    solo_tlp: TLPStats
+    multi_tlp: TLPStats
+    solo_power_mw: float
+    multi_power_mw: float
+    solo_perf: float
+    multi_perf: float
+    metric: Metric
+
+    @property
+    def perf_change_pct(self) -> float:
+        if self.solo_perf == 0:
+            return 0.0
+        change = 100.0 * (self.multi_perf - self.solo_perf) / self.solo_perf
+        # Normalize so positive is always better.
+        return -change if self.metric is Metric.LATENCY else change
+
+
+@dataclass
+class MultitaskingResult:
+    outcomes: dict[str, ScenarioOutcome] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = []
+        for name, o in self.outcomes.items():
+            rows.append([
+                name,
+                o.solo_tlp.tlp, o.multi_tlp.tlp,
+                o.solo_tlp.idle_pct, o.multi_tlp.idle_pct,
+                o.solo_power_mw, o.multi_power_mw,
+                o.perf_change_pct,
+            ])
+        return render_table(
+            ["scenario", "TLP solo", "TLP multi", "idle% solo", "idle% multi",
+             "mW solo", "mW multi", "fg perf %"],
+            rows,
+            title="Extension: multitasking vs solo foreground app",
+        )
+
+
+def _run(install, metric_hint: Metric, seed: int):
+    chip = exynos5422(screen_on=True)
+    max_seconds = (
+        FPS_APP_SECONDS if metric_hint is Metric.FPS else LATENCY_APP_CAP_SECONDS
+    )
+    sim = Simulator(SimConfig(
+        chip=chip, scheduler=baseline_config(), max_seconds=max_seconds, seed=seed
+    ))
+    foreground = install(sim)
+    trace = sim.run()
+    return foreground, trace
+
+
+def _perf(app: App) -> float:
+    return app.latency_s() if app.metric is Metric.LATENCY else app.avg_fps()
+
+
+def run_multitasking(
+    scenarios: list[Scenario] | None = None, seed: int = 0
+) -> MultitaskingResult:
+    result = MultitaskingResult()
+    for scenario in scenarios or list(SCENARIOS.values()):
+        metric = make_app(scenario.foreground).metric
+
+        def solo_install(sim: Simulator) -> App:
+            app = make_app(scenario.foreground)
+            app.install(sim)
+            return app
+
+        solo_app, solo_trace = _run(solo_install, metric, seed)
+        multi_app, multi_trace = _run(scenario.install, metric, seed)
+
+        result.outcomes[scenario.name] = ScenarioOutcome(
+            solo_tlp=tlp_stats(solo_trace.trimmed(1.0)),
+            multi_tlp=tlp_stats(multi_trace.trimmed(1.0)),
+            solo_power_mw=float(solo_trace.average_power_mw()),
+            multi_power_mw=float(multi_trace.average_power_mw()),
+            solo_perf=_perf(solo_app),
+            multi_perf=_perf(multi_app),
+            metric=metric,
+        )
+    return result

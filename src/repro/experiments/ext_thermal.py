@@ -1,0 +1,108 @@
+"""Extension: thermal throttling of sustained big-core workloads.
+
+The Exynos 5422's A15 cluster cannot run at 1.9 GHz indefinitely in a
+phone chassis.  This extension runs a sustained compute workload (a
+long SPEC-like kernel pinned to big cores under the interactive
+governor) with the thermal model enabled and reports the frequency sag
+and the throughput cost versus the unthrottled ideal the paper's short
+measurements reflect.
+
+Expected shape: the run starts at maximum frequency, crosses the trip
+temperature after a few seconds, steps the big cap down until power is
+sustainable, and ends with a clearly lower average frequency and a
+longer completion time than the unthrottled run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.report import render_table
+from repro.platform.chip import CoreConfig, exynos5422
+from repro.platform.coretypes import CoreType
+from repro.platform.thermal import ThermalParams
+from repro.sched.params import baseline_config
+from repro.sim.engine import SimConfig, Simulator
+from repro.workloads.spec import SpecBenchmark, spec_benchmark
+
+
+@dataclass
+class ThermalResult:
+    """Unthrottled vs throttled sustained-run comparison."""
+
+    unthrottled_s: float
+    throttled_s: float
+    peak_temp_c: float
+    end_big_khz: int
+    mean_big_khz_first_s: float
+    mean_big_khz_last_s: float
+    throttle_events: int
+
+    @property
+    def slowdown_pct(self) -> float:
+        return 100.0 * (self.throttled_s - self.unthrottled_s) / self.unthrottled_s
+
+    def render(self) -> str:
+        rows = [[
+            self.unthrottled_s,
+            self.throttled_s,
+            self.slowdown_pct,
+            self.peak_temp_c,
+            self.mean_big_khz_first_s / 1e6,
+            self.mean_big_khz_last_s / 1e6,
+            self.throttle_events,
+        ]]
+        return render_table(
+            ["ideal (s)", "throttled (s)", "slowdown %", "peak °C",
+             "GHz (first s)", "GHz (last s)", "trips"],
+            rows,
+            title="Extension: sustained big-core workload under thermal throttling",
+        )
+
+
+def _run(bench: SpecBenchmark, n_threads: int, thermal: ThermalParams | None, seed: int):
+    """Run ``n_threads`` copies of the kernel, one per big core."""
+    config = SimConfig(
+        chip=exynos5422(),
+        core_config=CoreConfig(little=1, big=n_threads),
+        scheduler=baseline_config(),
+        thermal=thermal,
+        max_seconds=120.0,
+        seed=seed,
+    )
+    sim = Simulator(config)
+    for _ in range(n_threads):
+        bench.install(sim, stop_on_finish=False)
+    trace = sim.run()
+    return sim, trace
+
+
+def run_thermal(
+    kernel: str = "hmmer",
+    total_units: float = 25.0,
+    n_threads: int = 4,
+    thermal: ThermalParams | None = None,
+    seed: int = 0,
+) -> ThermalResult:
+    thermal = thermal or ThermalParams()
+    bench = spec_benchmark(kernel)
+    long_bench = SpecBenchmark(bench.name, bench.work_class, total_units=total_units)
+
+    _, cool_trace = _run(long_bench, n_threads, None, seed)
+    sim, hot_trace = _run(long_bench, n_threads, thermal, seed)
+
+    big_freq = hot_trace.freq_khz(CoreType.BIG)
+    first = big_freq[:1000]
+    last = big_freq[-1000:]
+    assert sim.thermal is not None
+    return ThermalResult(
+        unthrottled_s=cool_trace.duration_s,
+        throttled_s=hot_trace.duration_s,
+        peak_temp_c=sim.thermal.temperature_c,
+        end_big_khz=int(big_freq[-1]),
+        mean_big_khz_first_s=float(np.mean(first)),
+        mean_big_khz_last_s=float(np.mean(last)),
+        throttle_events=sim.thermal.throttle_events,
+    )

@@ -1,0 +1,113 @@
+"""Figures 2 and 3: big-vs-little speedup and power for SPEC-like kernels.
+
+Figure 2 plots, for each SPEC application, the speedup of a single big
+core at {1.9, 1.3, 0.8} GHz over a single little core at 1.3 GHz.
+Figure 3 plots the whole-system power (mW) of the same four
+configurations (screen and network off).
+
+Expected shape (paper Section III.A):
+
+- a big core always wins at equal frequency (up to ~4.5x for
+  cache-sensitive kernels whose working set thrashes the little L2);
+- a few low-ILP kernels are *slower* on a big core at 0.8 GHz than on a
+  little core at 1.3 GHz;
+- big @ 1.3 GHz draws ~2.3x the power of little @ 1.3 GHz, and even
+  big @ 0.8 GHz draws ~1.5x;
+- power varies less across applications than performance does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import render_table
+from repro.platform.chip import ChipSpec, exynos5422
+from repro.platform.coretypes import CoreType
+from repro.experiments.common import run_spec_kernel
+from repro.workloads.spec import SPEC_BENCHMARKS, SpecBenchmark
+
+#: The four single-core configurations of Figures 2/3, in paper order.
+CONFIG_LABELS = ["little@1.3", "big@1.9", "big@1.3", "big@0.8"]
+
+_CONFIGS: list[tuple[str, CoreType, int]] = [
+    ("little@1.3", CoreType.LITTLE, 1_300_000),
+    ("big@1.9", CoreType.BIG, 1_900_000),
+    ("big@1.3", CoreType.BIG, 1_300_000),
+    ("big@0.8", CoreType.BIG, 800_000),
+]
+
+
+@dataclass
+class SpecComparisonResult:
+    """Per-kernel elapsed time and power for the four configurations."""
+
+    elapsed_s: dict[str, dict[str, float]] = field(default_factory=dict)
+    power_mw: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def speedup(self, kernel: str, config: str) -> float:
+        """Speedup of ``config`` over little@1.3 for ``kernel`` (Figure 2)."""
+        return self.elapsed_s[kernel]["little@1.3"] / self.elapsed_s[kernel][config]
+
+    def speedup_rows(self) -> list[list[object]]:
+        rows = []
+        for kernel in self.elapsed_s:
+            rows.append(
+                [kernel]
+                + [self.speedup(kernel, c) for c in CONFIG_LABELS if c != "little@1.3"]
+            )
+        return rows
+
+    def power_rows(self) -> list[list[object]]:
+        return [
+            [kernel] + [self.power_mw[kernel][c] for c in CONFIG_LABELS]
+            for kernel in self.power_mw
+        ]
+
+    def max_speedup(self) -> float:
+        return max(
+            self.speedup(k, c)
+            for k in self.elapsed_s
+            for c in CONFIG_LABELS
+            if c != "little@1.3"
+        )
+
+    def power_ratio(self, config: str) -> float:
+        """Mean power of ``config`` relative to little@1.3 across kernels."""
+        ratios = [
+            self.power_mw[k][config] / self.power_mw[k]["little@1.3"]
+            for k in self.power_mw
+        ]
+        return sum(ratios) / len(ratios)
+
+    def render(self) -> str:
+        fig2 = render_table(
+            ["kernel", "big@1.9", "big@1.3", "big@0.8"],
+            self.speedup_rows(),
+            title="Figure 2: speedup over little@1.3GHz",
+        )
+        fig3 = render_table(
+            ["kernel"] + CONFIG_LABELS,
+            self.power_rows(),
+            title="Figure 3: system power (mW)",
+            float_fmt="{:.0f}",
+        )
+        return fig2 + "\n\n" + fig3
+
+
+def run_spec_comparison(
+    benchmarks: list[SpecBenchmark] | None = None,
+    chip: ChipSpec | None = None,
+    seed: int = 0,
+) -> SpecComparisonResult:
+    """Run Figures 2 and 3 (they share the same runs)."""
+    chip = chip or exynos5422()
+    benchmarks = benchmarks if benchmarks is not None else SPEC_BENCHMARKS
+    result = SpecComparisonResult()
+    for bench in benchmarks:
+        result.elapsed_s[bench.name] = {}
+        result.power_mw[bench.name] = {}
+        for label, core_type, freq in _CONFIGS:
+            elapsed, power, _ = run_spec_kernel(bench, core_type, freq, chip, seed)
+            result.elapsed_s[bench.name][label] = elapsed
+            result.power_mw[bench.name][label] = power
+    return result

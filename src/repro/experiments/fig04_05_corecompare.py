@@ -1,0 +1,121 @@
+"""Figures 4 and 5: mobile apps on 4 big cores vs. 4 little cores.
+
+Figure 4 (latency-oriented apps): latency reduction (%) and power
+increase (%) of running on four big cores relative to four little
+cores.  Figure 5 (FPS-oriented apps): the same power comparison plus
+the improvement in *average* and *minimum* FPS.
+
+Expected shape (paper Section III.A): unlike SPEC, the mobile apps gain
+less than ~30% latency from big cores (low CPU utilization dilutes the
+core-architecture advantage) and draw much less extra power than the
+SPEC apps; average FPS barely moves except for the CPU-intensive game
+(Eternity Warriors 2), while *minimum* FPS benefits more broadly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import render_table
+from repro.core.study import run_app
+from repro.platform.chip import ChipSpec, CoreConfig, exynos5422
+from repro.experiments.common import relative_change_pct
+from repro.workloads.mobile import FPS_APP_NAMES, LATENCY_APP_NAMES
+
+LITTLE4 = CoreConfig(little=4, big=0)
+BIG4 = CoreConfig(little=0, big=4)
+
+
+@dataclass
+class LatencyCompareResult:
+    """Figure 4 rows: per-app latency reduction and power increase (%)."""
+
+    latency_reduction_pct: dict[str, float] = field(default_factory=dict)
+    power_increase_pct: dict[str, float] = field(default_factory=dict)
+    latency_s: dict[str, dict[str, float]] = field(default_factory=dict)
+    power_mw: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = [
+            [app, self.latency_reduction_pct[app], self.power_increase_pct[app]]
+            for app in self.latency_reduction_pct
+        ]
+        return render_table(
+            ["app", "latency reduction %", "power increase %"],
+            rows,
+            title="Figure 4: 4 big cores vs 4 little cores (latency apps)",
+        )
+
+
+@dataclass
+class FpsCompareResult:
+    """Figure 5 rows: per-app FPS improvements and power increase (%)."""
+
+    avg_fps_improvement_pct: dict[str, float] = field(default_factory=dict)
+    min_fps_improvement_pct: dict[str, float] = field(default_factory=dict)
+    power_increase_pct: dict[str, float] = field(default_factory=dict)
+    fps: dict[str, dict[str, tuple[float, float]]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = [
+            [
+                app,
+                self.avg_fps_improvement_pct[app],
+                self.min_fps_improvement_pct[app],
+                self.power_increase_pct[app],
+            ]
+            for app in self.avg_fps_improvement_pct
+        ]
+        return render_table(
+            ["app", "avg FPS +%", "min FPS +%", "power +%"],
+            rows,
+            title="Figure 5: 4 big cores vs 4 little cores (FPS apps)",
+        )
+
+
+def run_latency_comparison(
+    chip: ChipSpec | None = None, seed: int = 0, apps: list[str] | None = None
+) -> LatencyCompareResult:
+    """Figure 4: run each latency app on L4 and on B4."""
+    chip = chip or exynos5422()
+    result = LatencyCompareResult()
+    for app_name in apps or LATENCY_APP_NAMES:
+        runs = {}
+        for label, config in (("L4", LITTLE4), ("B4", BIG4)):
+            runs[label] = run_app(app_name, chip=chip, core_config=config, seed=seed)
+        lat = {label: run.latency_s() for label, run in runs.items()}
+        power = {label: run.avg_power_mw() for label, run in runs.items()}
+        result.latency_s[app_name] = lat
+        result.power_mw[app_name] = power
+        result.latency_reduction_pct[app_name] = -relative_change_pct(
+            lat["B4"], lat["L4"]
+        )
+        result.power_increase_pct[app_name] = relative_change_pct(
+            power["B4"], power["L4"]
+        )
+    return result
+
+
+def run_fps_comparison(
+    chip: ChipSpec | None = None, seed: int = 0, apps: list[str] | None = None
+) -> FpsCompareResult:
+    """Figure 5: run each FPS app on L4 and on B4."""
+    chip = chip or exynos5422()
+    result = FpsCompareResult()
+    for app_name in apps or FPS_APP_NAMES:
+        runs = {}
+        for label, config in (("L4", LITTLE4), ("B4", BIG4)):
+            runs[label] = run_app(app_name, chip=chip, core_config=config, seed=seed)
+        fps = {label: (run.avg_fps(), run.min_fps()) for label, run in runs.items()}
+        result.fps[app_name] = fps
+        result.avg_fps_improvement_pct[app_name] = relative_change_pct(
+            fps["B4"][0], fps["L4"][0]
+        )
+        min_l4 = fps["L4"][1]
+        result.min_fps_improvement_pct[app_name] = (
+            relative_change_pct(fps["B4"][1], min_l4) if min_l4 > 0 else 0.0
+        )
+        result.power_increase_pct[app_name] = relative_change_pct(
+            runs["B4"].avg_power_mw(), runs["L4"].avg_power_mw()
+        )
+    return result

@@ -1,0 +1,97 @@
+"""Figure 6: power vs. CPU utilization per core type and frequency.
+
+A duty-cycle-controlled microbenchmark runs on a single core of each
+type, swept across the cluster's frequencies and a range of target
+utilizations; system power is recorded for each point.
+
+Expected shape (paper Section III.B): power rises with utilization, the
+slope is much steeper at high frequencies, and big and little cores
+cover clearly separated power ranges at any utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import render_table
+from repro.platform.chip import ChipSpec, exynos5422
+from repro.platform.coretypes import CoreType
+from repro.sim.engine import SimConfig, Simulator
+from repro.sched.params import baseline_config
+from repro.experiments.common import fixed_governors, single_core_config
+from repro.workloads.micro import UtilizationMicrobenchmark
+
+DEFAULT_UTILIZATIONS = [0.0, 0.25, 0.50, 0.75, 1.0]
+
+
+@dataclass
+class UtilPowerResult:
+    """power_mw[core_type][freq_khz][utilization] -> system mW."""
+
+    power_mw: dict[CoreType, dict[int, dict[float, float]]] = field(
+        default_factory=dict
+    )
+    utilizations: list[float] = field(default_factory=lambda: DEFAULT_UTILIZATIONS)
+
+    def series(self, core_type: CoreType, freq_khz: int) -> list[float]:
+        table = self.power_mw[core_type][freq_khz]
+        return [table[u] for u in self.utilizations]
+
+    def slope_mw(self, core_type: CoreType, freq_khz: int) -> float:
+        """Power increase from idle to full utilization at this frequency."""
+        series = self.series(core_type, freq_khz)
+        return series[-1] - series[0]
+
+    def render(self) -> str:
+        parts = []
+        for core_type, freqs in self.power_mw.items():
+            rows = [
+                [f"{freq / 1e6:.1f}GHz"] + [freqs[freq][u] for u in self.utilizations]
+                for freq in sorted(freqs)
+            ]
+            parts.append(
+                render_table(
+                    [str(core_type)] + [f"u={u:.2f}" for u in self.utilizations],
+                    rows,
+                    title=f"Figure 6 ({core_type} core): system power (mW) by utilization",
+                    float_fmt="{:.0f}",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def run_util_power(
+    chip: ChipSpec | None = None,
+    utilizations: list[float] | None = None,
+    freqs_khz: dict[CoreType, list[int]] | None = None,
+    sim_seconds: float = 2.0,
+    seed: int = 0,
+) -> UtilPowerResult:
+    """Sweep utilization x frequency for both core types (Figure 6)."""
+    chip = chip or exynos5422()
+    utilizations = utilizations if utilizations is not None else DEFAULT_UTILIZATIONS
+    if freqs_khz is None:
+        freqs_khz = {
+            CoreType.LITTLE: list(chip.little_cluster.opp_table.frequencies_khz),
+            CoreType.BIG: list(chip.big_cluster.opp_table.frequencies_khz),
+        }
+    result = UtilPowerResult(utilizations=list(utilizations))
+    for core_type, freqs in freqs_khz.items():
+        cluster = chip.cluster(core_type)
+        result.power_mw[core_type] = {}
+        for freq in freqs:
+            result.power_mw[core_type][freq] = {}
+            for util in utilizations:
+                config = SimConfig(
+                    chip=chip,
+                    core_config=single_core_config(core_type),
+                    scheduler=baseline_config(),
+                    governors=fixed_governors(chip, little_khz=freq, big_khz=freq),
+                    max_seconds=sim_seconds,
+                    seed=seed,
+                )
+                sim = Simulator(config)
+                UtilizationMicrobenchmark(util).install(sim, cluster.spec, freq)
+                trace = sim.run()
+                result.power_mw[core_type][freq][util] = trace.average_power_mw()
+    return result

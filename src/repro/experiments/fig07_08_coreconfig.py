@@ -1,0 +1,102 @@
+"""Figures 7 and 8: performance and power under reduced core configurations.
+
+Each application runs under seven configurations — L2, L4, L2+B1,
+L4+B1, L2+B2, L4+B2, L2+B4 — and the baseline L4+B4.  Figure 7 reports
+the performance change (latency increase for latency apps, FPS change
+for FPS apps) and Figure 8 the power saving, both relative to L4+B4.
+
+Expected shape (paper Section V.C): little-only configurations save the
+most power but hurt latency badly for burst-heavy apps; a *single* big
+core recovers most of the interactive performance; lightweight apps
+(Angry Bird, Video Player) lose nothing even on little-only
+configurations; L2+B1 and L4+B1 give the best balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import render_table
+from repro.core.study import AppRun, run_app
+from repro.platform.chip import ChipSpec, CoreConfig, exynos5422
+from repro.experiments.common import relative_change_pct
+from repro.workloads.base import Metric
+from repro.workloads.mobile import MOBILE_APP_NAMES
+
+#: The seven reduced configurations, in the paper's presentation order.
+CORE_CONFIG_LABELS = ["L2", "L4", "L2+B1", "L4+B1", "L2+B2", "L4+B2", "L2+B4"]
+BASELINE_LABEL = "L4+B4"
+
+
+@dataclass
+class CoreConfigResult:
+    """Per-app, per-config performance and power deltas vs. L4+B4."""
+
+    # Positive = better: FPS improvement, or negated latency increase.
+    perf_change_pct: dict[str, dict[str, float]] = field(default_factory=dict)
+    power_saving_pct: dict[str, dict[str, float]] = field(default_factory=dict)
+    metric: dict[str, Metric] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["app"] + CORE_CONFIG_LABELS
+        perf_rows = [
+            [app] + [self.perf_change_pct[app][c] for c in CORE_CONFIG_LABELS]
+            for app in self.perf_change_pct
+        ]
+        power_rows = [
+            [app] + [self.power_saving_pct[app][c] for c in CORE_CONFIG_LABELS]
+            for app in self.power_saving_pct
+        ]
+        fig7 = render_table(
+            headers, perf_rows,
+            title="Figure 7: performance change vs L4+B4 (%; negative = worse)",
+            float_fmt="{:+.1f}",
+        )
+        fig8 = render_table(
+            headers, power_rows,
+            title="Figure 8: power saving vs L4+B4 (%)",
+            float_fmt="{:+.1f}",
+        )
+        return fig7 + "\n\n" + fig8
+
+
+def _performance_value(run: AppRun) -> float:
+    if run.metric is Metric.LATENCY:
+        return run.latency_s()
+    return run.avg_fps()
+
+
+def run_core_config_sweep(
+    chip: ChipSpec | None = None,
+    apps: list[str] | None = None,
+    configs: list[str] | None = None,
+    seed: int = 0,
+) -> CoreConfigResult:
+    """Run Figures 7 and 8 (shared runs)."""
+    chip = chip or exynos5422()
+    result = CoreConfigResult()
+    labels = configs or CORE_CONFIG_LABELS
+    for app_name in apps or MOBILE_APP_NAMES:
+        base = run_app(
+            app_name, chip=chip, core_config=CoreConfig.parse(BASELINE_LABEL), seed=seed
+        )
+        base_perf = _performance_value(base)
+        base_power = base.avg_power_mw()
+        result.metric[app_name] = base.metric
+        result.perf_change_pct[app_name] = {}
+        result.power_saving_pct[app_name] = {}
+        for label in labels:
+            run = run_app(
+                app_name, chip=chip, core_config=CoreConfig.parse(label), seed=seed
+            )
+            perf = _performance_value(run)
+            if run.metric is Metric.LATENCY:
+                # Lower latency is better: report the negated increase.
+                change = -relative_change_pct(perf, base_perf)
+            else:
+                change = relative_change_pct(perf, base_perf)
+            result.perf_change_pct[app_name][label] = change
+            result.power_saving_pct[app_name][label] = -relative_change_pct(
+                run.avg_power_mw(), base_power
+            )
+    return result

@@ -1,0 +1,82 @@
+"""Figures 9 and 10: frequency residency of little and big clusters.
+
+For each application the interactive governor's chosen frequencies are
+tallied over the cluster's *active* periods.
+
+Expected shape (paper Section VI.A): little-core distributions vary
+widely by app (video playback parks at the minimum frequency, heavy
+games spread across the range); big cores run at high frequencies for
+the burst-absorbing latency apps (encoder, photo editor, virus scanner)
+but at *low* frequencies for games and browsing, where they only mop up
+occasional overflow load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import render_table
+from repro.core.study import CharacterizationStudy
+from repro.platform.coretypes import CoreType
+from repro.workloads.mobile import MOBILE_APP_NAMES
+
+
+@dataclass
+class FreqResidencyResult:
+    """residency[core_type][app] -> {freq_khz: % of active time}."""
+
+    residency: dict[CoreType, dict[str, dict[int, float]]] = field(default_factory=dict)
+    opp_freqs: dict[CoreType, tuple[int, ...]] = field(default_factory=dict)
+
+    def low_freq_share(self, core_type: CoreType, app: str, count: int = 3) -> float:
+        """Percentage of active time in the lowest ``count`` OPPs."""
+        low = set(self.opp_freqs[core_type][:count])
+        return sum(
+            pct for f, pct in self.residency[core_type][app].items() if f in low
+        )
+
+    def high_freq_share(self, core_type: CoreType, app: str, count: int = 3) -> float:
+        """Percentage of active time in the highest ``count`` OPPs."""
+        high = set(self.opp_freqs[core_type][-count:])
+        return sum(
+            pct for f, pct in self.residency[core_type][app].items() if f in high
+        )
+
+    def render(self) -> str:
+        parts = []
+        for core_type, per_app in self.residency.items():
+            freqs = self.opp_freqs[core_type]
+            headers = ["app"] + [f"{f / 1e6:.1f}" for f in freqs]
+            rows = [
+                [app] + [per_app[app].get(f, 0.0) for f in freqs] for app in per_app
+            ]
+            fig = "Figure 9" if core_type is CoreType.LITTLE else "Figure 10"
+            parts.append(
+                render_table(
+                    headers,
+                    rows,
+                    title=f"{fig}: {core_type} core frequency residency (% of active time, GHz)",
+                    float_fmt="{:.1f}",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def run_frequency_residency(
+    study: CharacterizationStudy | None = None,
+    apps: list[str] | None = None,
+    seed: int = 0,
+) -> FreqResidencyResult:
+    """Run Figures 9 and 10 over the selected apps (default: all 12)."""
+    study = study or CharacterizationStudy(seed=seed)
+    result = FreqResidencyResult()
+    result.opp_freqs = {
+        CoreType.LITTLE: study.chip.little_cluster.opp_table.frequencies_khz,
+        CoreType.BIG: study.chip.big_cluster.opp_table.frequencies_khz,
+    }
+    result.residency = {CoreType.LITTLE: {}, CoreType.BIG: {}}
+    for app in apps or MOBILE_APP_NAMES:
+        c = study.characterize(app)
+        result.residency[CoreType.LITTLE][app] = c.little_residency
+        result.residency[CoreType.BIG][app] = c.big_residency
+    return result

@@ -1,0 +1,124 @@
+"""Figures 11-13: the effect of governor and HMP scheduler parameters.
+
+All 12 applications run under the baseline configuration and the eight
+variants of :func:`repro.sched.params.variant_configs` (four governor
+knobs, four HMP knobs).  Figure 11 reports the average/min/max power
+saving per variant across all apps; Figure 12 the latency change for
+the latency-oriented apps; Figure 13 the average-FPS change for the
+FPS-oriented apps.
+
+Expected shape (paper Section VI.C): the governor *sampling interval*
+is the most impactful knob (a few percent average power saving, up to
+~10% for bbench, at some latency cost); the HMP threshold and history-
+weight changes have minor average effect — big-core loads are bi-modal,
+so threshold shifts rarely change decisions — with the conservative
+setting saving power for some apps and the aggressive setting costing
+power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import render_table
+from repro.core.study import run_app
+from repro.platform.chip import ChipSpec, exynos5422
+from repro.sched.params import SchedulerConfig, baseline_config, variant_configs
+from repro.experiments.common import relative_change_pct
+from repro.workloads.base import Metric
+from repro.workloads.mobile import MOBILE_APP_NAMES
+
+
+@dataclass
+class ParamSweepResult:
+    """Per-variant, per-app power and performance deltas vs. baseline."""
+
+    power_saving_pct: dict[str, dict[str, float]] = field(default_factory=dict)
+    latency_change_pct: dict[str, dict[str, float]] = field(default_factory=dict)
+    fps_change_pct: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def variant_names(self) -> list[str]:
+        return list(self.power_saving_pct)
+
+    def power_summary(self, variant: str) -> tuple[float, float, float]:
+        """(average, min, max) power saving across apps for ``variant``."""
+        values = list(self.power_saving_pct[variant].values())
+        return sum(values) / len(values), min(values), max(values)
+
+    def render(self) -> str:
+        fig11_rows = []
+        for variant in self.variant_names():
+            avg, lo, hi = self.power_summary(variant)
+            fig11_rows.append([variant, avg, lo, hi])
+        parts = [
+            render_table(
+                ["variant", "avg saving %", "min %", "max %"],
+                fig11_rows,
+                title="Figure 11: power saving vs baseline (all apps)",
+                float_fmt="{:+.2f}",
+            )
+        ]
+        lat_apps = sorted({a for v in self.latency_change_pct.values() for a in v})
+        fig12_rows = [
+            [variant] + [self.latency_change_pct[variant][a] for a in lat_apps]
+            for variant in self.variant_names()
+        ]
+        parts.append(
+            render_table(
+                ["variant"] + lat_apps,
+                fig12_rows,
+                title="Figure 12: latency change % (latency apps; positive = slower)",
+                float_fmt="{:+.1f}",
+            )
+        )
+        fps_apps = sorted({a for v in self.fps_change_pct.values() for a in v})
+        fig13_rows = [
+            [variant] + [self.fps_change_pct[variant][a] for a in fps_apps]
+            for variant in self.variant_names()
+        ]
+        parts.append(
+            render_table(
+                ["variant"] + fps_apps,
+                fig13_rows,
+                title="Figure 13: average FPS change % (FPS apps)",
+                float_fmt="{:+.1f}",
+            )
+        )
+        return "\n\n".join(parts)
+
+
+def run_param_sweep(
+    chip: ChipSpec | None = None,
+    apps: list[str] | None = None,
+    variants: list[SchedulerConfig] | None = None,
+    seed: int = 0,
+) -> ParamSweepResult:
+    """Run Figures 11-13 (shared runs)."""
+    chip = chip or exynos5422()
+    app_names = apps or MOBILE_APP_NAMES
+    variants = variants if variants is not None else variant_configs()
+
+    base_runs = {
+        app: run_app(app, chip=chip, scheduler=baseline_config(), seed=seed)
+        for app in app_names
+    }
+    result = ParamSweepResult()
+    for variant in variants:
+        result.power_saving_pct[variant.name] = {}
+        result.latency_change_pct[variant.name] = {}
+        result.fps_change_pct[variant.name] = {}
+        for app in app_names:
+            run = run_app(app, chip=chip, scheduler=variant, seed=seed)
+            base = base_runs[app]
+            result.power_saving_pct[variant.name][app] = -relative_change_pct(
+                run.avg_power_mw(), base.avg_power_mw()
+            )
+            if run.metric is Metric.LATENCY:
+                result.latency_change_pct[variant.name][app] = relative_change_pct(
+                    run.latency_s(), base.latency_s()
+                )
+            else:
+                result.fps_change_pct[variant.name][app] = relative_change_pct(
+                    run.avg_fps(), base.avg_fps()
+                )
+    return result

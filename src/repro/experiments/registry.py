@@ -1,0 +1,104 @@
+"""Registry mapping paper artifact ids to experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.experiments.fig02_03_spec import run_spec_comparison
+from repro.experiments.fig04_05_corecompare import (
+    run_fps_comparison,
+    run_latency_comparison,
+)
+from repro.experiments.fig06_util_power import run_util_power
+from repro.experiments.fig07_08_coreconfig import run_core_config_sweep
+from repro.experiments.fig09_10_freq import run_frequency_residency
+from repro.experiments.fig11_12_13_params import run_param_sweep
+from repro.experiments.table3_4_tlp import run_tlp_tables
+from repro.experiments.table5_efficiency import run_efficiency_table
+from repro.experiments.ext_cluster_switch import run_cluster_switch_comparison
+from repro.experiments.ext_energy_freq import run_energy_frequency_sweep
+from repro.experiments.ext_governor_compare import run_governor_comparison
+from repro.experiments.ext_gpu import run_gpu_sweep
+from repro.experiments.ext_input_boost import run_input_boost
+from repro.experiments.ext_multitasking import run_multitasking
+from repro.experiments.ext_scheduler_compare import run_scheduler_comparison
+from repro.experiments.ext_thermal import run_thermal
+from repro.experiments.ext_tiny_core import run_tiny_core
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    id: str
+    title: str
+    runner: Callable[..., Any]
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.id: e
+    for e in [
+        Experiment("fig2", "Speedup of big-core configs over little@1.3GHz (SPEC)",
+                   run_spec_comparison),
+        Experiment("fig3", "System power for SPEC kernels by core/frequency",
+                   run_spec_comparison),
+        Experiment("fig4", "Latency apps: 4 big vs 4 little cores",
+                   run_latency_comparison),
+        Experiment("fig5", "FPS apps: 4 big vs 4 little cores",
+                   run_fps_comparison),
+        Experiment("fig6", "Power vs utilization per core type and frequency",
+                   run_util_power),
+        Experiment("table3", "TLP and core-type usage for the 12 apps",
+                   run_tlp_tables),
+        Experiment("table4", "Joint (big, little) active-core distributions",
+                   run_tlp_tables),
+        Experiment("fig7", "Performance under 7 reduced core configurations",
+                   run_core_config_sweep),
+        Experiment("fig8", "Power saving under 7 reduced core configurations",
+                   run_core_config_sweep),
+        Experiment("fig9", "Little-cluster frequency residency",
+                   run_frequency_residency),
+        Experiment("fig10", "Big-cluster frequency residency",
+                   run_frequency_residency),
+        Experiment("table5", "Scheduler/governor efficiency decomposition",
+                   run_efficiency_table),
+        Experiment("fig11", "Power saving for 8 governor/HMP variants",
+                   run_param_sweep),
+        Experiment("fig12", "Latency change for 8 governor/HMP variants",
+                   run_param_sweep),
+        Experiment("fig13", "Average FPS change for 8 governor/HMP variants",
+                   run_param_sweep),
+        # Extensions beyond the paper (Sections IV.A / VI.B follow-ups).
+        Experiment("ext-tiny", "Tiny-core cluster (paper Sec. VI.B proposal)",
+                   run_tiny_core),
+        Experiment("ext-sched", "Oracle efficiency scheduler vs HMP",
+                   run_scheduler_comparison),
+        Experiment("ext-governors", "Cross-governor comparison",
+                   run_governor_comparison),
+        Experiment("ext-thermal", "Thermal throttling of sustained big-core load",
+                   run_thermal),
+        Experiment("ext-switching", "First-gen cluster switching vs concurrent HMP",
+                   run_cluster_switch_comparison),
+        Experiment("ext-energy", "Energy-optimal fixed frequency (race-to-idle)",
+                   run_energy_frequency_sweep),
+        Experiment("ext-boost", "Touch booster: latency tails vs power",
+                   run_input_boost),
+        Experiment("ext-multitask", "Background services: TLP/power/foreground impact",
+                   run_multitasking),
+        Experiment("ext-gpu", "Games as CPU+GPU pipelines: frame GPU load sweep",
+                   run_gpu_sweep),
+    ]
+}
+
+
+def list_experiments() -> list[Experiment]:
+    return list(EXPERIMENTS.values())
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        valid = ", ".join(EXPERIMENTS)
+        raise KeyError(f"unknown experiment {exp_id!r}; valid ids: {valid}") from None

@@ -1,0 +1,60 @@
+"""JSON serialization for experiment results.
+
+Every result object in :mod:`repro.experiments` is a dataclass built
+from dicts, lists, numbers, numpy arrays, and enum keys; this module
+converts any of them into plain JSON-compatible structures so results
+can be archived, diffed, or consumed by external tooling
+(``biglittle run table3 --json out.json``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Any
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-compatible structures."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {_key(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [to_jsonable(v) for v in obj]
+    # Last resort: objects exposing a stats()/render() style API or
+    # arbitrary classes — serialize their public attributes.
+    public = {
+        k: v for k, v in vars(obj).items() if not k.startswith("_")
+    } if hasattr(obj, "__dict__") else None
+    if public:
+        return {k: to_jsonable(v) for k, v in public.items()}
+    return str(obj)
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, enum.Enum):
+        return str(key.value)
+    return str(key)
+
+
+def dump_result(result: Any, path: str) -> None:
+    """Write an experiment result to ``path`` as JSON."""
+    with open(path, "w") as f:
+        json.dump(to_jsonable(result), f, indent=2, sort_keys=True)

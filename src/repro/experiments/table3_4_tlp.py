@@ -1,0 +1,64 @@
+"""Tables III and IV: TLP statistics and (big, little) activity matrices.
+
+Both tables come from the same default-configuration runs of the 12
+applications, so they share one :class:`CharacterizationStudy`.
+
+Expected shape (paper Section V): TLP below 3 for every app except
+BBench (~4); big-core usage near zero for Angry Bird, Video Player,
+YouTube and Browser, and high (20-60%) for BBench, Virus Scanner,
+Encoder, and Eternity Warriors 2; in the matrices, the mass sits in the
+low-count cells, and even when big cores are used it is almost always
+exactly one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.report import render_matrix, render_table
+from repro.core.study import CharacterizationStudy
+from repro.core.tlp import TLPStats
+from repro.workloads.mobile import MOBILE_APP_NAMES
+
+
+@dataclass
+class TLPTableResult:
+    """Per-app Table III rows and Table IV matrices."""
+
+    stats: dict[str, TLPStats] = field(default_factory=dict)
+    matrices: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def table3_rows(self) -> list[list[object]]:
+        return [
+            [app, s.idle_pct, s.little_only_pct, s.big_active_pct, s.tlp]
+            for app, s in self.stats.items()
+        ]
+
+    def render(self) -> str:
+        parts = [
+            render_table(
+                ["app", "idle", "little", "big", "TLP"],
+                self.table3_rows(),
+                title="Table III: thread-level parallelism with 8 cores",
+            )
+        ]
+        for app, matrix in self.matrices.items():
+            parts.append(render_matrix(matrix, title=f"Table IV — {app} (% of samples)"))
+        return "\n\n".join(parts)
+
+
+def run_tlp_tables(
+    study: CharacterizationStudy | None = None,
+    apps: list[str] | None = None,
+    seed: int = 0,
+) -> TLPTableResult:
+    """Run Tables III and IV over the selected apps (default: all 12)."""
+    study = study or CharacterizationStudy(seed=seed)
+    result = TLPTableResult()
+    for app in apps or MOBILE_APP_NAMES:
+        c = study.characterize(app)
+        result.stats[app] = c.tlp
+        result.matrices[app] = c.matrix
+    return result

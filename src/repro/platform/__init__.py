@@ -1,0 +1,37 @@
+"""Asymmetric SoC hardware model (substrate 1).
+
+This package models the hardware side of the platform studied in the paper:
+an Exynos 5422-like SoC with a cluster of four out-of-order "big" cores
+(Cortex-A15-like) and a cluster of four in-order "little" cores
+(Cortex-A7-like), per-cluster DVFS, separate per-cluster L2 caches, and a
+calibrated analytical power model.
+
+The public entry points are:
+
+- :func:`repro.platform.chip.exynos5422` — the default chip preset,
+- :class:`repro.platform.chip.CoreConfig` — which cores are enabled,
+- :class:`repro.platform.perfmodel.WorkClass` — how a unit of work
+  interacts with a core (compute/memory split, working-set size),
+- :class:`repro.platform.power.PowerModel` — per-core and system power.
+"""
+
+from repro.platform.coretypes import ClusterSpec, CoreSpec, CoreType
+from repro.platform.opp import OPP, OPPTable
+from repro.platform.perfmodel import WorkClass, throughput_units_per_sec
+from repro.platform.power import PowerModel, PowerParams
+from repro.platform.chip import ChipSpec, CoreConfig, exynos5422
+
+__all__ = [
+    "ChipSpec",
+    "ClusterSpec",
+    "CoreConfig",
+    "CoreSpec",
+    "CoreType",
+    "OPP",
+    "OPPTable",
+    "PowerModel",
+    "PowerParams",
+    "WorkClass",
+    "exynos5422",
+    "throughput_units_per_sec",
+]

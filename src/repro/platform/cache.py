@@ -1,0 +1,48 @@
+"""Working-set based L2 capacity model.
+
+The paper emphasizes (Sections II and III.A) that the two clusters have
+*different* L2 capacities — 2 MB for the big cluster and 512 KB for the
+little one — and that this widens the big-core speedup for cache-sensitive
+applications well beyond what microarchitecture alone would give (up to
+4.5x at equal frequency).
+
+We model this with a simple working-set capacity miss model: a workload
+declares a working-set size; the fraction of its memory traffic that misses
+a cache of capacity ``l2_kb`` is ``max(0, 1 - l2_kb / wss_kb)``.  This is
+the classic "fractional fit" approximation: if the working set fits, the
+steady-state capacity miss ratio is ~0; otherwise the resident fraction of
+the working set hits and the rest misses.  Misses cost an extra DRAM
+penalty multiplier on the workload's memory time component.
+"""
+
+from __future__ import annotations
+
+# How much more expensive a DRAM access is than an L2 hit, expressed as a
+# multiplier applied to the baseline (all-hit) memory time.
+DRAM_PENALTY = 5.0
+
+
+def miss_ratio(l2_kb: int, wss_kb: float) -> float:
+    """Capacity miss ratio of a working set against an L2 of ``l2_kb``.
+
+    Returns 0.0 when the working set fits, approaching 1.0 as the working
+    set grows far beyond the cache.
+    """
+    if l2_kb <= 0:
+        raise ValueError(f"l2_kb must be positive, got {l2_kb}")
+    if wss_kb < 0:
+        raise ValueError(f"wss_kb must be non-negative, got {wss_kb}")
+    if wss_kb <= l2_kb:
+        return 0.0
+    return 1.0 - l2_kb / wss_kb
+
+
+def memory_time_factor(l2_kb: int, wss_kb: float, dram_penalty: float = DRAM_PENALTY) -> float:
+    """Multiplier on a workload's memory-time component for a given L2 size.
+
+    1.0 when the working set fits in L2; up to ``1 + dram_penalty`` for
+    working sets that never fit.
+    """
+    if dram_penalty < 0:
+        raise ValueError(f"dram_penalty must be non-negative, got {dram_penalty}")
+    return 1.0 + miss_ratio(l2_kb, wss_kb) * dram_penalty

@@ -1,0 +1,164 @@
+"""Chip description and core-enable configurations.
+
+:class:`ChipSpec` bundles the clusters and power model into one platform
+description.  :class:`CoreConfig` selects how many cores of each cluster
+are enabled — the mechanism behind the paper's Section V.C experiments
+(e.g. ``L2+B1`` = two little cores and one big core enabled).
+
+One platform rule from the paper (Section II) is enforced here: at least
+one little core must always be enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.coretypes import (
+    ClusterSpec,
+    CoreType,
+    cortex_a15,
+    cortex_a7,
+)
+from repro.platform.opp import big_opp_table, little_opp_table
+from repro.platform.power import PowerModel, PowerParams
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """How many cores of each type are enabled.
+
+    The string form follows the paper's notation: ``L4+B4`` is four little
+    and four big cores; ``L2`` is two little cores and no big cores.
+    """
+
+    little: int
+    big: int
+
+    def __post_init__(self) -> None:
+        if self.little < 0 or self.big < 0:
+            raise ValueError(
+                f"core counts must be non-negative, got little={self.little}, big={self.big}"
+            )
+        if self.little + self.big < 1:
+            raise ValueError("at least one core must be enabled")
+        # Note: the production platform requires one little core to stay
+        # online (paper Sec. II), but the paper's own Section III
+        # measurements use big-only configurations, so ``little=0`` is
+        # allowed here as a research configuration.
+
+    @property
+    def total(self) -> int:
+        return self.little + self.big
+
+    def count(self, core_type: CoreType) -> int:
+        return self.little if core_type is CoreType.LITTLE else self.big
+
+    def label(self) -> str:
+        if self.big == 0:
+            return f"L{self.little}"
+        if self.little == 0:
+            return f"B{self.big}"
+        return f"L{self.little}+B{self.big}"
+
+    @classmethod
+    def parse(cls, label: str) -> "CoreConfig":
+        """Parse a ``L<k>`` or ``L<k>+B<m>`` label."""
+        parts = label.strip().upper().split("+")
+        little = big = 0
+        for part in parts:
+            if part.startswith("L"):
+                little = int(part[1:])
+            elif part.startswith("B"):
+                big = int(part[1:])
+            else:
+                raise ValueError(f"unparseable core-config component: {part!r}")
+        return cls(little=little, big=big)
+
+
+class ChipSpec:
+    """A two-cluster asymmetric chip with a power model."""
+
+    def __init__(
+        self,
+        name: str,
+        little_cluster: ClusterSpec,
+        big_cluster: ClusterSpec,
+        power_params: PowerParams | None = None,
+        memory_contention_alpha: float = 0.10,
+    ):
+        if little_cluster.core_type is not CoreType.LITTLE:
+            raise ValueError("little_cluster must contain LITTLE cores")
+        if big_cluster.core_type is not CoreType.BIG:
+            raise ValueError("big_cluster must contain BIG cores")
+        if memory_contention_alpha < 0:
+            raise ValueError(
+                f"memory_contention_alpha must be non-negative, got {memory_contention_alpha}"
+            )
+        self.name = name
+        self.little_cluster = little_cluster
+        self.big_cluster = big_cluster
+        self.power_model = PowerModel(power_params)
+        #: DRAM contention: each *additional* concurrently-busy core
+        #: inflates everyone's memory time by this fraction (capped at
+        #: +50%).  Zero disables the model.
+        self.memory_contention_alpha = memory_contention_alpha
+
+    def memory_contention(self, n_busy_cores: int) -> float:
+        """Memory-time multiplier when ``n_busy_cores`` share DRAM."""
+        extra = max(0, n_busy_cores - 1)
+        return 1.0 + min(0.5, self.memory_contention_alpha * extra)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChipSpec({self.name!r}, {self.little_cluster.num_cores}xLITTLE + "
+            f"{self.big_cluster.num_cores}xBIG)"
+        )
+
+    def cluster(self, core_type: CoreType) -> ClusterSpec:
+        return self.little_cluster if core_type is CoreType.LITTLE else self.big_cluster
+
+    def max_config(self) -> CoreConfig:
+        """All cores enabled."""
+        return CoreConfig(
+            little=self.little_cluster.num_cores, big=self.big_cluster.num_cores
+        )
+
+    def validate_config(self, config: CoreConfig) -> None:
+        """Raise if ``config`` enables more cores than the chip has."""
+        if config.little > self.little_cluster.num_cores:
+            raise ValueError(
+                f"config enables {config.little} little cores but chip has "
+                f"{self.little_cluster.num_cores}"
+            )
+        if config.big > self.big_cluster.num_cores:
+            raise ValueError(
+                f"config enables {config.big} big cores but chip has "
+                f"{self.big_cluster.num_cores}"
+            )
+
+
+#: Display + GPU power while the screen is on (interactive-app runs).
+SCREEN_ON_MW = 1000.0
+
+
+def exynos5422(
+    power_params: PowerParams | None = None, screen_on: bool = False
+) -> ChipSpec:
+    """The paper's target chip: 4x Cortex-A7 + 4x Cortex-A15.
+
+    ``screen_on`` adds the display power the paper's interactive-app
+    measurements include (the SPEC/microbenchmark runs turn the screen
+    off, per Section III).
+    """
+    if power_params is None and screen_on:
+        power_params = PowerParams(screen_mw=SCREEN_ON_MW)
+    return ChipSpec(
+        name="Exynos 5422",
+        little_cluster=ClusterSpec(
+            spec=cortex_a7(), num_cores=4, opp_table=little_opp_table()
+        ),
+        big_cluster=ClusterSpec(
+            spec=cortex_a15(), num_cores=4, opp_table=big_opp_table()
+        ),
+        power_params=power_params,
+    )

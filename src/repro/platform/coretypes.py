@@ -1,0 +1,105 @@
+"""Core and cluster specifications (paper Table I).
+
+The paper's target platform has two core types:
+
+- **big**: Cortex-A15, out-of-order, 3-issue, 32KB L1 I/D, shared 2MB L2,
+  0.8-1.9 GHz.
+- **little**: Cortex-A7, in-order, 2-issue, 32KB L1 I/D, shared 512KB L2,
+  0.5-1.3 GHz.
+
+:class:`CoreSpec` captures the parameters the performance and power models
+consume; the microarchitectural text fields are retained for documentation
+and reporting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.platform.opp import OPPTable
+
+
+class CoreType(enum.Enum):
+    """The two single-ISA core types of the asymmetric platform."""
+
+    LITTLE = "little"
+    BIG = "big"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Static description of one core type.
+
+    Attributes:
+        core_type: which cluster family this core belongs to.
+        name: human-readable microarchitecture name.
+        ipc_ratio: sustained instructions-per-cycle throughput relative to
+            the little core (little = 1.0).  This models the issue-width /
+            out-of-order advantage of the big core for compute-bound work.
+        issue_width: decode/issue width (documentation).
+        pipeline_stages: pipeline depth range as text (documentation).
+        l2_kb: capacity of the cluster-shared L2 cache in KiB.
+    """
+
+    core_type: CoreType
+    name: str
+    ipc_ratio: float
+    issue_width: int
+    pipeline_stages: str
+    l2_kb: int
+
+    def __post_init__(self) -> None:
+        if self.ipc_ratio <= 0:
+            raise ValueError(f"ipc_ratio must be positive, got {self.ipc_ratio}")
+        if self.l2_kb <= 0:
+            raise ValueError(f"l2_kb must be positive, got {self.l2_kb}")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous group of cores sharing an L2 cache and a DVFS domain.
+
+    Per the paper (Section II), each core type forms one frequency domain:
+    all cores of a type run at the same frequency, and the two clusters'
+    L2 caches can be active simultaneously with coherence support.
+    """
+
+    spec: CoreSpec
+    num_cores: int
+    opp_table: OPPTable
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {self.num_cores}")
+
+    @property
+    def core_type(self) -> CoreType:
+        return self.spec.core_type
+
+
+def cortex_a7() -> CoreSpec:
+    """Little-core spec from Table I (Cortex-A7)."""
+    return CoreSpec(
+        core_type=CoreType.LITTLE,
+        name="Cortex-A7",
+        ipc_ratio=1.0,
+        issue_width=2,
+        pipeline_stages="8-10",
+        l2_kb=512,
+    )
+
+
+def cortex_a15() -> CoreSpec:
+    """Big-core spec from Table I (Cortex-A15)."""
+    return CoreSpec(
+        core_type=CoreType.BIG,
+        name="Cortex-A15",
+        ipc_ratio=1.8,
+        issue_width=3,
+        pipeline_stages="15-24",
+        l2_kb=2048,
+    )

@@ -1,0 +1,69 @@
+"""GPU model: a frequency-scaled accelerator with its own power curve.
+
+The Exynos 5422 pairs its CPU complex with a Mali-T628 GPU; games are
+really CPU+GPU pipelines, with the GPU often the heavier consumer.  The
+model is deliberately simple — a single execution queue whose
+throughput scales with a small OPP table, plus a static+dynamic power
+curve — because the paper's CPU-side analyses only need the GPU's
+*load and power envelope*, not shader-level detail.
+
+GPU work is measured in **GPU work units**: 1 unit = what the GPU
+completes in one second at its maximum frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.platform.opp import OPPTable, linear_voltage_table
+
+
+@dataclass(frozen=True)
+class GpuPowerParams:
+    """GPU power coefficients (same form as the CPU model)."""
+
+    static_mw_per_v: float = 120.0
+    dyn_mw_per_v2ghz: float = 2400.0
+    idle_static_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.static_mw_per_v < 0 or self.dyn_mw_per_v2ghz < 0:
+            raise ValueError("power coefficients must be non-negative")
+        if not 0.0 <= self.idle_static_fraction <= 1.0:
+            raise ValueError(
+                f"idle_static_fraction must be in [0, 1], got {self.idle_static_fraction}"
+            )
+
+
+def mali_opp_table() -> OPPTable:
+    """Mali-T628-like operating points: 177-600 MHz."""
+    return linear_voltage_table(177_000, 600_000, 70_500, 0.85, 1.10)
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of the GPU."""
+
+    name: str = "Mali-T628"
+    opp_table: OPPTable = field(default_factory=mali_opp_table)
+    power: GpuPowerParams = field(default_factory=GpuPowerParams)
+
+    def throughput_units_per_sec(self, freq_khz: int) -> float:
+        """GPU work units per second at ``freq_khz`` (1.0 at max)."""
+        if freq_khz <= 0:
+            raise ValueError(f"freq_khz must be positive, got {freq_khz}")
+        return freq_khz / self.opp_table.max_khz
+
+    def power_mw(self, freq_khz: int, busy_fraction: float) -> float:
+        """GPU power at an operating point and busy fraction."""
+        if not 0.0 <= busy_fraction <= 1.0:
+            raise ValueError(f"busy_fraction must be in [0, 1], got {busy_fraction}")
+        v = self.opp_table.voltage_at(freq_khz)
+        p = self.power
+        static_active = p.static_mw_per_v * v
+        static = (
+            busy_fraction * static_active
+            + (1.0 - busy_fraction) * static_active * p.idle_static_fraction
+        )
+        dynamic = p.dyn_mw_per_v2ghz * v * v * (freq_khz / 1e6) * busy_fraction
+        return static + dynamic

@@ -1,0 +1,126 @@
+"""Operating performance points (frequency/voltage pairs) for DVFS.
+
+Each cluster has an :class:`OPPTable`: an ordered list of
+frequency/voltage pairs.  The interactive governor picks frequencies from
+this table (Algorithm 2 of the paper); the power model consumes the voltage
+at the selected point.
+
+The Exynos 5422 presets follow the paper's Section II: little cores span
+0.5-1.3 GHz and big cores span 0.8-1.9 GHz, both in 100 MHz steps.  Voltages
+are a linear interpolation between plausible endpoint voltages; only the
+*relative* V-f shape matters for reproducing the paper's power trends.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OPP:
+    """One operating point: a frequency (kHz) and its supply voltage (V)."""
+
+    freq_khz: int
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.freq_khz <= 0:
+            raise ValueError(f"freq_khz must be positive, got {self.freq_khz}")
+        if self.voltage_v <= 0:
+            raise ValueError(f"voltage_v must be positive, got {self.voltage_v}")
+
+
+class OPPTable:
+    """An immutable, ascending-frequency table of operating points."""
+
+    def __init__(self, opps: list[OPP]):
+        if not opps:
+            raise ValueError("OPP table must contain at least one point")
+        freqs = [p.freq_khz for p in opps]
+        if sorted(set(freqs)) != freqs:
+            raise ValueError("OPPs must be strictly ascending in frequency")
+        self._opps = tuple(opps)
+        self._freqs = tuple(freqs)
+
+    def __len__(self) -> int:
+        return len(self._opps)
+
+    def __iter__(self):
+        return iter(self._opps)
+
+    def __repr__(self) -> str:
+        lo, hi = self.min_khz, self.max_khz
+        return f"OPPTable({len(self)} points, {lo}-{hi} kHz)"
+
+    @property
+    def frequencies_khz(self) -> tuple[int, ...]:
+        return self._freqs
+
+    @property
+    def min_khz(self) -> int:
+        return self._freqs[0]
+
+    @property
+    def max_khz(self) -> int:
+        return self._freqs[-1]
+
+    def voltage_at(self, freq_khz: int) -> float:
+        """Voltage of the operating point with exactly ``freq_khz``."""
+        i = bisect.bisect_left(self._freqs, freq_khz)
+        if i == len(self._freqs) or self._freqs[i] != freq_khz:
+            raise KeyError(f"{freq_khz} kHz is not an operating point")
+        return self._opps[i].voltage_v
+
+    def contains(self, freq_khz: int) -> bool:
+        """Whether ``freq_khz`` is exactly one of the operating points."""
+        i = bisect.bisect_left(self._freqs, freq_khz)
+        return i < len(self._freqs) and self._freqs[i] == freq_khz
+
+    def ceil(self, freq_khz: int) -> int:
+        """The lowest operating frequency >= ``freq_khz`` (clamped to max).
+
+        This is how cpufreq resolves a raw frequency target to a real
+        operating point: pick the smallest point able to serve the demand.
+        """
+        i = bisect.bisect_left(self._freqs, freq_khz)
+        if i == len(self._freqs):
+            return self.max_khz
+        return self._freqs[i]
+
+    def floor(self, freq_khz: int) -> int:
+        """The highest operating frequency <= ``freq_khz`` (clamped to min)."""
+        i = bisect.bisect_right(self._freqs, freq_khz)
+        if i == 0:
+            return self.min_khz
+        return self._freqs[i - 1]
+
+
+def linear_voltage_table(
+    min_khz: int, max_khz: int, step_khz: int, v_min: float, v_max: float
+) -> OPPTable:
+    """Build an OPP table with linear voltage/frequency interpolation."""
+    if max_khz < min_khz:
+        raise ValueError("max_khz must be >= min_khz")
+    if step_khz <= 0:
+        raise ValueError("step_khz must be positive")
+    opps = []
+    freq = min_khz
+    while freq <= max_khz:
+        if max_khz == min_khz:
+            v = v_min
+        else:
+            v = v_min + (freq - min_khz) / (max_khz - min_khz) * (v_max - v_min)
+        opps.append(OPP(freq_khz=freq, voltage_v=v))
+        freq += step_khz
+    return OPPTable(opps)
+
+
+def little_opp_table() -> OPPTable:
+    """Exynos-5422-like little-cluster OPPs: 0.5-1.3 GHz, 100 MHz steps."""
+    return linear_voltage_table(500_000, 1_300_000, 100_000, 0.90, 1.20)
+
+
+def big_opp_table() -> OPPTable:
+    """Exynos-5422-like big-cluster OPPs: 0.8-1.9 GHz, 100 MHz steps."""
+    return linear_voltage_table(800_000, 1_900_000, 100_000, 0.90, 1.35)

@@ -1,0 +1,160 @@
+"""Calibrated power model for the asymmetric SoC.
+
+The paper measures *whole-system* power with a Monsoon meter (screen and
+network off for the SPEC experiments).  We reproduce that with:
+
+``P_system = P_base + sum_clusters(P_cluster) + sum_cores(P_core)``
+
+where for an enabled core running at voltage ``V`` and frequency ``f``
+(GHz) with busy fraction ``u``:
+
+``P_core = P_static + P_dynamic``
+``P_static = static_mw_per_v * V``            (leakage, always-on when the
+                                               core is enabled; reduced by
+                                               ``idle_static_fraction``
+                                               while the core is idle/WFI)
+``P_dynamic = dyn_mw_per_v2ghz * V^2 * f * u * activity``
+
+and each powered cluster adds a constant L2/uncore term.
+
+Calibration targets, taken from the paper's text (Section III.A, SPEC
+workloads at ~100% utilization, whole-system power):
+
+- big @ 1.3 GHz  ~= 2.3x the power of little @ 1.3 GHz,
+- big @ 0.8 GHz  ~= 1.5x the power of little @ 1.3 GHz,
+- power varies less across applications than performance does,
+- Figure 6: power rises linearly with utilization, with a steeper slope at
+  higher frequency, and big/little cover clearly separated power ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.platform.coretypes import CoreType
+from repro.units import khz_to_ghz
+
+
+@dataclass(frozen=True)
+class CorePowerParams:
+    """Power coefficients for one core type.
+
+    ``idle_static_fraction`` is the leakage retained in the shallow WFI
+    idle state (clock-gated); ``deep_idle_static_fraction`` is the
+    residue in the deep power-down state cpuidle enters after the core
+    has been continuously idle for the platform's entry threshold.
+    """
+
+    static_mw_per_v: float
+    dyn_mw_per_v2ghz: float
+    idle_static_fraction: float = 0.25
+    deep_idle_static_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.static_mw_per_v < 0 or self.dyn_mw_per_v2ghz < 0:
+            raise ValueError("power coefficients must be non-negative")
+        if not 0.0 <= self.idle_static_fraction <= 1.0:
+            raise ValueError(
+                f"idle_static_fraction must be in [0, 1], got {self.idle_static_fraction}"
+            )
+        if not 0.0 <= self.deep_idle_static_fraction <= self.idle_static_fraction:
+            raise ValueError(
+                "deep_idle_static_fraction must be in [0, idle_static_fraction], "
+                f"got {self.deep_idle_static_fraction}"
+            )
+
+
+def _default_core_params() -> dict[CoreType, CorePowerParams]:
+    # Solved so that, with base_mw = 300 and one fully-busy core:
+    #   little @ 1.3 GHz (1.20 V) ~= 550 mW system
+    #   big    @ 1.3 GHz (1.105 V) ~= 2.3 x little  (~1265 mW)
+    #   big    @ 0.8 GHz (0.90 V)  ~= 1.5 x little  (~825 mW)
+    return {
+        CoreType.LITTLE: CorePowerParams(static_mw_per_v=40.0, dyn_mw_per_v2ghz=108.0),
+        CoreType.BIG: CorePowerParams(static_mw_per_v=292.0, dyn_mw_per_v2ghz=405.0),
+    }
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    """Full-system power parameters.
+
+    Attributes:
+        base_mw: constant power of everything outside the CPU complex
+            (memory, regulators, idle peripherals).
+        screen_mw: display (and GPU compositing) power.  Zero for the
+            paper's SPEC/microbenchmark experiments ("the screen and
+            networks are turned off"); the interactive-app measurements
+            include it, which is why their big-vs-little power deltas
+            are proportionally much smaller than SPEC's.
+        cluster_mw: per-cluster uncore/L2 power while the cluster has at
+            least one enabled core.
+        core: per-core-type coefficients.
+    """
+
+    base_mw: float = 300.0
+    screen_mw: float = 0.0
+    #: Continuous idle time before cpuidle takes a core from WFI into
+    #: the deep power-down state.
+    deep_idle_entry_ms: float = 10.0
+    cluster_mw: dict[CoreType, float] = field(
+        default_factory=lambda: {CoreType.LITTLE: 10.0, CoreType.BIG: 30.0}
+    )
+    core: dict[CoreType, CorePowerParams] = field(default_factory=_default_core_params)
+
+
+class PowerModel:
+    """Evaluates core, cluster, and system power from runtime state."""
+
+    def __init__(self, params: PowerParams | None = None):
+        self.params = params or PowerParams()
+
+    def core_power_mw(
+        self,
+        core_type: CoreType,
+        freq_khz: int,
+        voltage_v: float,
+        busy_fraction: float,
+        activity_factor: float = 1.0,
+        deep_idle: bool = False,
+    ) -> float:
+        """Power of one enabled core over an interval.
+
+        ``busy_fraction`` is the fraction of the interval the core spent
+        executing (the remainder is WFI idle at reduced leakage, or the
+        deep power-down residue when ``deep_idle`` is set — the engine
+        sets it once a core has been idle past ``deep_idle_entry_ms``).
+        """
+        if not 0.0 <= busy_fraction <= 1.0:
+            raise ValueError(f"busy_fraction must be in [0, 1], got {busy_fraction}")
+        p = self.params.core[core_type]
+        # Leakage: full while running, reduced while idle.
+        idle_fraction = (
+            p.deep_idle_static_fraction if deep_idle else p.idle_static_fraction
+        )
+        static_active = p.static_mw_per_v * voltage_v
+        static = (
+            busy_fraction * static_active
+            + (1.0 - busy_fraction) * static_active * idle_fraction
+        )
+        dynamic = (
+            p.dyn_mw_per_v2ghz
+            * voltage_v**2
+            * khz_to_ghz(freq_khz)
+            * busy_fraction
+            * activity_factor
+        )
+        return static + dynamic
+
+    def cluster_power_mw(self, core_type: CoreType, enabled: bool) -> float:
+        """Uncore/L2 power of one cluster."""
+        return self.params.cluster_mw[core_type] if enabled else 0.0
+
+    def system_power_mw(self, core_powers_mw: list[float], cluster_powers_mw: list[float]) -> float:
+        """Total system power from already-evaluated component powers."""
+        return (
+            self.params.base_mw
+            + self.params.screen_mw
+            + sum(core_powers_mw)
+            + sum(cluster_powers_mw)
+        )

@@ -1,0 +1,99 @@
+"""First-order thermal model with big-cluster throttling.
+
+The Exynos 5422 is famous for throttling its A15 cluster under
+sustained load — a phone has no active cooling, so multi-watt big-core
+power cannot be dissipated indefinitely.  The paper's short interactive
+runs rarely hit the limit, but sustained workloads (the encoder, long
+gaming sessions, SPEC-like kernels) do, so the simulator models it:
+
+- SoC temperature follows a first-order RC response to system power:
+  ``dT/dt = (P * r_thermal - (T - T_ambient)) / tau``;
+- a trip governor caps the big cluster's maximum frequency, stepping
+  the cap down one OPP per evaluation while above ``trip_c`` and
+  releasing one OPP per evaluation below ``release_c`` (hysteresis).
+
+The model is disabled by default (``SimConfig.thermal=None``) so the
+paper-artifact experiments match the paper's unthrottled short runs;
+the sustained-workload extension enables it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """First-order thermal response and trip points.
+
+    Attributes:
+        ambient_c: ambient/skin-coupled baseline temperature.
+        r_thermal_c_per_w: steady-state temperature rise per watt of
+            system power (junction-to-ambient resistance).
+        tau_s: thermal time constant of the SoC + phone body.
+        trip_c: temperature above which the big-cluster cap steps down.
+        release_c: temperature below which the cap steps back up.
+        eval_ms: trip-governor evaluation period.
+    """
+
+    ambient_c: float = 30.0
+    r_thermal_c_per_w: float = 18.0
+    tau_s: float = 8.0
+    trip_c: float = 75.0
+    release_c: float = 65.0
+    eval_ms: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.tau_s <= 0:
+            raise ValueError(f"tau_s must be positive, got {self.tau_s}")
+        if self.r_thermal_c_per_w < 0:
+            raise ValueError("r_thermal_c_per_w must be non-negative")
+        if self.release_c >= self.trip_c:
+            raise ValueError(
+                f"release_c must be below trip_c, got {self.release_c} >= {self.trip_c}"
+            )
+        if self.eval_ms <= 0:
+            raise ValueError(f"eval_ms must be positive, got {self.eval_ms}")
+
+
+class ThermalModel:
+    """Integrates temperature and produces a big-cluster frequency cap."""
+
+    def __init__(self, params: ThermalParams, big_opp_freqs: tuple[int, ...]):
+        if not big_opp_freqs:
+            raise ValueError("big_opp_freqs must not be empty")
+        self.params = params
+        self._freqs = tuple(big_opp_freqs)
+        self.temperature_c = params.ambient_c
+        self._cap_index = len(self._freqs) - 1  # index into ascending OPPs
+        self._since_eval_s = 0.0
+        self.throttle_events = 0
+
+    @property
+    def cap_khz(self) -> int:
+        """Current maximum allowed big-cluster frequency."""
+        return self._freqs[self._cap_index]
+
+    @property
+    def throttled(self) -> bool:
+        return self._cap_index < len(self._freqs) - 1
+
+    def step(self, power_mw: float, dt_s: float) -> int:
+        """Advance temperature by ``dt_s`` at ``power_mw``; return the cap.
+
+        The trip governor acts only on its evaluation period, one OPP
+        step at a time, mirroring kernel thermal zone behaviour.
+        """
+        p = self.params
+        steady = p.ambient_c + (power_mw / 1000.0) * p.r_thermal_c_per_w
+        self.temperature_c += (steady - self.temperature_c) * (dt_s / p.tau_s)
+
+        self._since_eval_s += dt_s
+        if self._since_eval_s >= p.eval_ms / 1000.0:
+            self._since_eval_s = 0.0
+            if self.temperature_c > p.trip_c and self._cap_index > 0:
+                self._cap_index -= 1
+                self.throttle_events += 1
+            elif self.temperature_c < p.release_c and self.throttled:
+                self._cap_index += 1
+        return self.cap_khz

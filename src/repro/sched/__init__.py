@@ -1,0 +1,42 @@
+"""OS scheduling and power management (substrate 3).
+
+Implements the two system components whose behaviour the paper studies:
+
+- the **HMP scheduler** (paper Algorithm 1): per-task time-weighted load
+  tracking with migration between core types on up/down thresholds, plus
+  conventional intra-cluster load balancing, and
+- the **interactive CPU-frequency governor** (paper Algorithm 2): per-
+  cluster utilization sampling with target-load frequency selection and a
+  hispeed jump.
+
+:mod:`repro.sched.params` holds the baseline parameters and the eight
+variant configurations evaluated in the paper's Section VI.C.
+"""
+
+from repro.sched.load import LoadTracker
+from repro.sched.params import (
+    GovernorParams,
+    HMPParams,
+    SchedulerConfig,
+    baseline_config,
+    variant_configs,
+)
+from repro.sched.hmp import HMPScheduler
+from repro.sched.governor import (
+    FixedFrequencyGovernor,
+    InteractiveGovernor,
+    PerformanceGovernor,
+)
+
+__all__ = [
+    "FixedFrequencyGovernor",
+    "GovernorParams",
+    "HMPParams",
+    "HMPScheduler",
+    "InteractiveGovernor",
+    "LoadTracker",
+    "PerformanceGovernor",
+    "SchedulerConfig",
+    "baseline_config",
+    "variant_configs",
+]

@@ -1,0 +1,50 @@
+"""Conventional load balancing within one core type.
+
+The HMP scheduler "also performs traditional load balancing across the
+same type of cores" (paper Section IV.B).  We implement the standard
+runqueue-length balancer: repeatedly move one runnable task from the
+busiest core to the idlest core of the group while their runnable counts
+differ by two or more.  Ties are broken by core id for determinism.
+"""
+
+from __future__ import annotations
+
+from repro.sim.core import SimCore
+from repro.sim.task import TaskState
+
+
+def least_loaded(cores: list[SimCore]) -> SimCore:
+    """The enabled core with the fewest runnable tasks (load-then-id tiebreak)."""
+    if not cores:
+        raise ValueError("least_loaded() of empty core group")
+    return min(cores, key=lambda c: (c.nr_running(), c.queued_load(), c.core_id))
+
+
+def most_loaded(cores: list[SimCore]) -> SimCore:
+    if not cores:
+        raise ValueError("most_loaded() of empty core group")
+    return max(cores, key=lambda c: (c.nr_running(), c.queued_load(), -c.core_id))
+
+
+def balance_cluster(cores: list[SimCore], max_moves: int = 16) -> int:
+    """Equalize runnable-task counts within one core group.
+
+    Returns the number of tasks moved.  ``max_moves`` bounds the work per
+    tick (the real balancer is similarly incremental).
+    """
+    if len(cores) < 2:
+        return 0
+    moves = 0
+    while moves < max_moves:
+        src = most_loaded(cores)
+        dst = least_loaded(cores)
+        if src.nr_running() - dst.nr_running() < 2:
+            break
+        candidates = [t for t in src.runqueue if t.state is TaskState.RUNNABLE]
+        # Move the lightest runnable task: it disturbs cache affinity the
+        # least and is what idle pull typically steals.
+        task = min(candidates, key=lambda t: (t.load.value, t.tid))
+        src.dequeue(task)
+        dst.enqueue(task)
+        moves += 1
+    return moves

@@ -1,0 +1,108 @@
+"""Cluster-switching (first-generation big.LITTLE) scheduling.
+
+The paper notes that its platform is the first allowing *both* core
+types to run concurrently: "unlike the limitation of the previous
+big-little implementation, which allowed only either big or little
+cores, but not both types of cores, [to] be active at a time"
+(Section II).  That earlier mode — cluster migration / switching — is
+implemented here so the generational improvement can be quantified.
+
+The whole system runs on exactly one cluster.  A switch governor
+monitors aggregate load: when any task's tracked load exceeds the
+up-threshold the system switches to the big cluster; when every task is
+below the down-threshold it switches back.  Switches move all runnable
+tasks at once (the real implementation's in-kernel switcher likewise
+migrated the whole world, costing ~30-50 us per switch — negligible at
+our 1 ms resolution).
+"""
+
+from __future__ import annotations
+
+from repro.platform.coretypes import CoreType
+from repro.sched.balance import balance_cluster, least_loaded
+from repro.sched.hmp import HMPScheduler
+from repro.sched.params import HMPParams
+from repro.sim.core import SimCore
+from repro.sim.task import Task, TaskState
+
+
+class ClusterSwitchingScheduler(HMPScheduler):
+    """All-or-nothing cluster residency with load-based switching."""
+
+    def __init__(self, cores: list[SimCore], params: HMPParams):
+        super().__init__(cores, params)
+        # Start on the energy-efficient cluster when it exists.
+        self.active_type = (
+            CoreType.LITTLE if self.little_cores else CoreType.BIG
+        )
+        self.switches = 0
+        self._idle_ticks = 0
+        #: Consecutive fully-idle ticks before an idle system switches
+        #: back to the little cluster (prevents micro-stall thrash).
+        self.idle_switch_ticks = 20
+
+    @property
+    def active_cores(self) -> list[SimCore]:
+        return self.cores_for(self.active_type)
+
+    def place_wakeup(self, task: Task) -> SimCore:
+        """Wakes always land on the active cluster (prev core if idle)."""
+        group = self.active_cores
+        prev = self._by_id.get(task.last_core_id)
+        if (
+            prev is not None
+            and prev.enabled
+            and prev in group
+            and prev.nr_running() == 0
+        ):
+            return prev
+        return least_loaded(group)
+
+    def tick(self, cores: list[SimCore]) -> int:
+        if not self.little_cores or not self.big_cores:
+            return super().tick(cores)
+
+        runnable = [
+            t
+            for core in cores
+            if core.enabled
+            for t in core.runqueue
+            if t.state is TaskState.RUNNABLE
+        ]
+        if runnable:
+            self._idle_ticks = 0
+            peak = max(t.load.value for t in runnable)
+            if self.active_type is CoreType.LITTLE and peak > self.params.up_threshold:
+                self._switch_to(CoreType.BIG)
+            elif self.active_type is CoreType.BIG and peak < self.params.down_threshold:
+                self._switch_to(CoreType.LITTLE)
+        elif self.active_type is CoreType.BIG:
+            # A *persistently* idle system belongs on the efficient
+            # cluster; micro-stalls must not thrash the switcher.
+            self._idle_ticks += 1
+            if self._idle_ticks >= self.idle_switch_ticks:
+                self._switch_to(CoreType.LITTLE)
+
+        moved = self._herd_to_active()
+        balance_cluster(self.active_cores)
+        return moved
+
+    def _switch_to(self, core_type: CoreType) -> None:
+        self.active_type = core_type
+        self.switches += 1
+
+    def _herd_to_active(self) -> int:
+        """Move every runnable task off the inactive cluster."""
+        inactive = (
+            self.big_cores if self.active_type is CoreType.LITTLE else self.little_cores
+        )
+        moved = 0
+        for core in inactive:
+            for task in list(core.runqueue):
+                if task.state is not TaskState.RUNNABLE:
+                    continue
+                core.dequeue(task)
+                least_loaded(self.active_cores).enqueue(task)
+                task.migrations += 1
+                moved += 1
+        return moved

@@ -1,0 +1,99 @@
+"""Efficiency-based scheduler — the paper's Section IV.A alternative.
+
+The academic alternative to utilization-based HMP scheduling assigns the
+N big cores to the N runnable threads with the highest *big-core
+efficiency* (the speedup a thread gains from a big core), provided they
+have enough load to matter.  The paper describes it but does not deploy
+it; we implement it so the trade-off can be measured.
+
+Big-core speedups in real systems must be sampled or estimated from
+performance counters; the simulator can instead compute each task's true
+speedup from its work class — i.e. this is the *oracle* variant, an
+upper bound on what counter-based estimation could achieve.
+"""
+
+from __future__ import annotations
+
+from repro.platform.coretypes import CoreType
+from repro.platform.perfmodel import throughput_units_per_sec
+from repro.sched.balance import balance_cluster, least_loaded
+from repro.sched.hmp import HMPScheduler
+from repro.sched.params import HMPParams
+from repro.sim.core import SimCore
+from repro.sim.task import Task, TaskState
+
+
+class EfficiencyScheduler(HMPScheduler):
+    """Oracle efficiency-based big-core assignment.
+
+    Every tick, all runnable tasks with load above ``min_load`` are
+    ranked by ``load * big_speedup`` (the throughput gained by running
+    the task's current work on a big instead of a little core at their
+    maximum frequencies); the top tasks — one per big core — run big,
+    everything else runs little.  Wake placement and intra-cluster
+    balancing are inherited from the HMP base.
+    """
+
+    def __init__(self, cores: list[SimCore], params: HMPParams, min_load: float = 128.0):
+        super().__init__(cores, params)
+        self.min_load = min_load
+        self._speedup_cache: dict[str, float] = {}
+
+    def big_speedup(self, task: Task) -> float:
+        """True big/little throughput ratio for the task's work class."""
+        work = task.current_work_class
+        cached = self._speedup_cache.get(work.name)
+        if cached is not None:
+            return cached
+        if not self.big_cores or not self.little_cores:
+            speedup = 1.0
+        else:
+            big = self.big_cores[0]
+            little = self.little_cores[0]
+            speedup = throughput_units_per_sec(
+                big.spec, big.max_freq_khz, work
+            ) / throughput_units_per_sec(little.spec, little.max_freq_khz, work)
+        self._speedup_cache[work.name] = speedup
+        return speedup
+
+    def tick(self, cores: list[SimCore]) -> int:
+        if not self.big_cores or not self.little_cores:
+            return super().tick(cores)
+
+        runnable = [
+            t
+            for core in cores
+            if core.enabled
+            for t in core.runqueue
+            if t.state is TaskState.RUNNABLE
+        ]
+        candidates = [t for t in runnable if t.load.value >= self.min_load]
+        candidates.sort(
+            key=lambda t: (t.load.value * self.big_speedup(t), -t.tid), reverse=True
+        )
+        chosen = set(t.tid for t in candidates[: len(self.big_cores)])
+
+        migrations = 0
+        for core in cores:
+            if not core.enabled:
+                continue
+            for task in list(core.runqueue):
+                if task.state is not TaskState.RUNNABLE:
+                    continue
+                wants_big = task.tid in chosen
+                on_big = core.core_type is CoreType.BIG
+                if wants_big and not on_big:
+                    target = least_loaded(self.big_cores)
+                    if target.nr_running() == 0:
+                        core.dequeue(task)
+                        target.enqueue(task)
+                        task.migrations += 1
+                        migrations += 1
+                elif on_big and not wants_big:
+                    core.dequeue(task)
+                    least_loaded(self.little_cores).enqueue(task)
+                    task.migrations += 1
+                    migrations += 1
+        balance_cluster(self.little_cores)
+        balance_cluster(self.big_cores)
+        return migrations

@@ -1,0 +1,313 @@
+"""CPU-frequency governors — paper Algorithm 2 and fixed baselines.
+
+The **interactive governor** evaluates each cluster every sampling period
+(default 20 ms):
+
+- cluster utilization = the maximum per-core busy fraction over the
+  period (each cluster shares one frequency, so the busiest core sets
+  the demand);
+- ``target_freq = freq * util / TARGET_LOAD``;
+- if utilization exceeds the up threshold and the cluster is below the
+  preset hispeed frequency, jump straight to hispeed (the paper's
+  "responsiveness optimization"); above hispeed, scale to target;
+- if utilization fell below the down threshold, scale down to target;
+- otherwise hold.
+
+Frequencies snap to the cluster's OPP table (smallest point able to
+serve the target).  :class:`PerformanceGovernor` and
+:class:`FixedFrequencyGovernor` pin frequencies for the architectural
+characterization experiments (paper Section III).
+"""
+
+from __future__ import annotations
+
+from repro.platform.coretypes import CoreType
+from repro.platform.opp import OPPTable
+from repro.sched.params import GovernorParams
+from repro.sim.core import SimCore
+
+
+class ClusterFreqDomain:
+    """Shared frequency state for all cores of one type."""
+
+    def __init__(self, core_type: CoreType, opp_table: OPPTable, cores: list[SimCore]):
+        self.core_type = core_type
+        self.opp_table = opp_table
+        self.cores = [c for c in cores if c.core_type is core_type and c.enabled]
+        self.freq_khz = opp_table.min_khz
+        #: Maximum frequency currently allowed (lowered by thermal
+        #: throttling; governors' requests are clamped to it).
+        self.cap_khz = opp_table.max_khz
+        self.apply()
+
+    def set_freq(self, freq_khz: int) -> None:
+        if not self.opp_table.contains(freq_khz):
+            raise ValueError(f"{freq_khz} kHz is not an OPP of the {self.core_type} cluster")
+        self.freq_khz = min(freq_khz, self.cap_khz)
+        self.apply()
+
+    def set_cap(self, cap_khz: int) -> None:
+        """Apply a thermal cap; the current frequency is clamped to it."""
+        if not self.opp_table.contains(cap_khz):
+            raise ValueError(f"{cap_khz} kHz is not an OPP of the {self.core_type} cluster")
+        self.cap_khz = cap_khz
+        if self.freq_khz > cap_khz:
+            self.freq_khz = cap_khz
+            self.apply()
+
+    def apply(self) -> None:
+        for core in self.cores:
+            core.freq_khz = self.freq_khz
+
+    def voltage_v(self) -> float:
+        return self.opp_table.voltage_at(self.freq_khz)
+
+
+class Governor:
+    """Interface: called by the engine once per tick per cluster domain."""
+
+    def start(self, domain: ClusterFreqDomain) -> None:
+        raise NotImplementedError
+
+    def tick(self, domain: ClusterFreqDomain, tick_index: int, tick_s: float) -> None:
+        raise NotImplementedError
+
+
+class InteractiveGovernor(Governor):
+    """The load-tracking interactive governor (paper Algorithm 2)."""
+
+    def __init__(self, params: GovernorParams):
+        self.params = params
+        self._sampling_ticks = 0
+        self._window_ticks = 0
+        self._ticks_since_raise = 0
+        self._boost_ticks_left = 0
+
+    def start(self, domain: ClusterFreqDomain) -> None:
+        domain.set_freq(domain.opp_table.min_khz)
+        self._sampling_ticks = max(1, self.params.sampling_ms)
+        self._window_ticks = 0
+        self._ticks_since_raise = 0
+        self._boost_ticks_left = 0
+        for core in domain.cores:
+            core.busy_in_window_s = 0.0
+
+    def notify_input(self, domain: ClusterFreqDomain) -> None:
+        """Touch booster: jump to hispeed and hold it for the boost window."""
+        if self.params.input_boost_ms <= 0:
+            return
+        self._boost_ticks_left = self.params.input_boost_ms
+        hispeed = self.hispeed_khz(domain)
+        if domain.freq_khz < hispeed:
+            domain.set_freq(hispeed)
+            self._ticks_since_raise = 0
+
+    def hispeed_khz(self, domain: ClusterFreqDomain) -> int:
+        raw = int(self.params.hispeed_fraction * domain.opp_table.max_khz)
+        return domain.opp_table.ceil(raw)
+
+    def tick(self, domain: ClusterFreqDomain, tick_index: int, tick_s: float) -> None:
+        self._window_ticks += 1
+        self._ticks_since_raise += 1
+        if self._boost_ticks_left > 0:
+            self._boost_ticks_left -= 1
+        if self._window_ticks < self._sampling_ticks:
+            return
+        window_s = self._window_ticks * tick_s
+        self._window_ticks = 0
+        if not domain.cores:
+            return
+        util = max(min(1.0, c.busy_in_window_s / window_s) for c in domain.cores)
+        for core in domain.cores:
+            core.busy_in_window_s = 0.0
+        new_freq = self._next_freq(domain, util)
+        if self._boost_ticks_left > 0:
+            new_freq = max(new_freq, self.hispeed_khz(domain))
+        if new_freq > domain.freq_khz:
+            self._ticks_since_raise = 0
+        domain.set_freq(new_freq)
+
+    def _next_freq(self, domain: ClusterFreqDomain, util: float) -> int:
+        p = self.params
+        freq = domain.freq_khz
+        target = domain.opp_table.ceil(int(freq * util / p.target_load))
+        if util > p.target_load:
+            if p.hispeed_enabled:
+                hispeed = self.hispeed_khz(domain)
+                if freq < hispeed:
+                    return hispeed
+            return max(target, freq)
+        if util < p.down_threshold:
+            # min_sample_time: a raised frequency is held for a while
+            # before scaling down, over-provisioning after bursts.
+            # (One engine tick is one millisecond.)
+            if self._ticks_since_raise < p.hold_ms:
+                return freq
+            return target
+        return freq
+
+
+class PerformanceGovernor(Governor):
+    """Pins the cluster at its maximum frequency."""
+
+    def start(self, domain: ClusterFreqDomain) -> None:
+        domain.set_freq(domain.opp_table.max_khz)
+
+    def tick(self, domain: ClusterFreqDomain, tick_index: int, tick_s: float) -> None:
+        return
+
+
+class FixedFrequencyGovernor(Governor):
+    """Pins the cluster at one chosen OPP (for the Section III sweeps)."""
+
+    def __init__(self, freq_khz: int):
+        self.freq_khz = freq_khz
+
+    def start(self, domain: ClusterFreqDomain) -> None:
+        domain.set_freq(domain.opp_table.ceil(self.freq_khz))
+
+    def tick(self, domain: ClusterFreqDomain, tick_index: int, tick_s: float) -> None:
+        return
+
+
+class PowersaveGovernor(Governor):
+    """Pins the cluster at its minimum frequency."""
+
+    def start(self, domain: ClusterFreqDomain) -> None:
+        domain.set_freq(domain.opp_table.min_khz)
+
+    def tick(self, domain: ClusterFreqDomain, tick_index: int, tick_s: float) -> None:
+        return
+
+
+class OndemandGovernor(Governor):
+    """The classic ondemand policy: jump to max on load, step down slowly.
+
+    Evaluates every ``sampling_ms``; if the busiest core's utilization
+    exceeds ``up_threshold`` the cluster goes straight to its maximum
+    frequency (ondemand's signature move), otherwise the frequency steps
+    down proportionally to the measured load with a 20% headroom.
+    Included for cross-governor comparisons against ``interactive``.
+    """
+
+    def __init__(self, sampling_ms: int = 20, up_threshold: float = 0.80):
+        if sampling_ms <= 0:
+            raise ValueError(f"sampling_ms must be positive, got {sampling_ms}")
+        if not 0.0 < up_threshold <= 1.0:
+            raise ValueError(f"up_threshold must be in (0, 1], got {up_threshold}")
+        self.sampling_ms = sampling_ms
+        self.up_threshold = up_threshold
+        self._window_ticks = 0
+
+    def start(self, domain: ClusterFreqDomain) -> None:
+        domain.set_freq(domain.opp_table.min_khz)
+        self._window_ticks = 0
+        for core in domain.cores:
+            core.busy_in_window_s = 0.0
+
+    def tick(self, domain: ClusterFreqDomain, tick_index: int, tick_s: float) -> None:
+        self._window_ticks += 1
+        if self._window_ticks < self.sampling_ms:
+            return
+        window_s = self._window_ticks * tick_s
+        self._window_ticks = 0
+        if not domain.cores:
+            return
+        util = max(min(1.0, c.busy_in_window_s / window_s) for c in domain.cores)
+        for core in domain.cores:
+            core.busy_in_window_s = 0.0
+        if util > self.up_threshold:
+            domain.set_freq(domain.opp_table.max_khz)
+        else:
+            # Proportional target with headroom, never above current
+            # (down-steps only outside the jump).
+            target = domain.opp_table.ceil(
+                int(domain.freq_khz * util / self.up_threshold * 1.25)
+            )
+            domain.set_freq(min(target, domain.freq_khz))
+
+
+class SchedutilGovernor(Governor):
+    """Mainline-Linux-style schedutil: frequency from scheduler load.
+
+    Instead of sampling utilization windows, schedutil derives the
+    target directly from the tracked load of the runnable tasks:
+    ``f = headroom * (max runqueue load / 1024) * f_max`` evaluated
+    every tick, with an optional down-rate limit.  Arrived years after
+    the paper's platform; included to show where DVFS went next.
+    """
+
+    def __init__(self, headroom: float = 1.25, down_hold_ms: int = 20):
+        if headroom < 1.0:
+            raise ValueError(f"headroom must be >= 1.0, got {headroom}")
+        if down_hold_ms < 0:
+            raise ValueError(f"down_hold_ms must be non-negative, got {down_hold_ms}")
+        self.headroom = headroom
+        self.down_hold_ms = down_hold_ms
+        self._ticks_since_raise = 0
+
+    def start(self, domain: ClusterFreqDomain) -> None:
+        domain.set_freq(domain.opp_table.min_khz)
+        self._ticks_since_raise = 0
+
+    def tick(self, domain: ClusterFreqDomain, tick_index: int, tick_s: float) -> None:
+        if not domain.cores:
+            return
+        self._ticks_since_raise += 1
+        peak_load = 0.0
+        for core in domain.cores:
+            for task in core.runqueue:
+                if task.load is not None:
+                    peak_load = max(peak_load, task.load.value)
+        target = domain.opp_table.ceil(
+            int(self.headroom * (peak_load / 1024.0) * domain.opp_table.max_khz)
+        )
+        if target > domain.freq_khz:
+            domain.set_freq(target)
+            self._ticks_since_raise = 0
+        elif target < domain.freq_khz and self._ticks_since_raise >= self.down_hold_ms:
+            domain.set_freq(target)
+
+
+class ConservativeGovernor(Governor):
+    """Step-wise governor: one OPP up or down per sample on thresholds."""
+
+    def __init__(
+        self,
+        sampling_ms: int = 20,
+        up_threshold: float = 0.80,
+        down_threshold: float = 0.30,
+    ):
+        if sampling_ms <= 0:
+            raise ValueError(f"sampling_ms must be positive, got {sampling_ms}")
+        if not 0.0 <= down_threshold < up_threshold <= 1.0:
+            raise ValueError(
+                f"need 0 <= down < up <= 1, got {down_threshold}/{up_threshold}"
+            )
+        self.sampling_ms = sampling_ms
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self._window_ticks = 0
+
+    def start(self, domain: ClusterFreqDomain) -> None:
+        domain.set_freq(domain.opp_table.min_khz)
+        self._window_ticks = 0
+        for core in domain.cores:
+            core.busy_in_window_s = 0.0
+
+    def tick(self, domain: ClusterFreqDomain, tick_index: int, tick_s: float) -> None:
+        self._window_ticks += 1
+        if self._window_ticks < self.sampling_ms:
+            return
+        window_s = self._window_ticks * tick_s
+        self._window_ticks = 0
+        if not domain.cores:
+            return
+        util = max(min(1.0, c.busy_in_window_s / window_s) for c in domain.cores)
+        for core in domain.cores:
+            core.busy_in_window_s = 0.0
+        table = domain.opp_table
+        if util > self.up_threshold and domain.freq_khz < table.max_khz:
+            domain.set_freq(table.ceil(domain.freq_khz + 1))
+        elif util < self.down_threshold and domain.freq_khz > table.min_khz:
+            domain.set_freq(table.floor(domain.freq_khz - 1))

@@ -1,0 +1,148 @@
+"""The HMP (Heterogeneous Multi-Processing) scheduler — paper Algorithm 1.
+
+Every scheduling tick:
+
+1. each task's tracked load is updated by time-weighted adjustment
+   (done by the engine via :class:`repro.sched.load.LoadTracker`, with
+   the per-tick sample normalized by current frequency);
+2. tasks on little cores whose load exceeds the **up-threshold** migrate
+   to a big core; tasks on big cores whose load fell below the
+   **down-threshold** migrate to a little core;
+3. conventional load balancing runs within each core type.
+
+Wake placement follows the same load rule: a waking task whose tracked
+load exceeds the up-threshold is placed on the least-loaded big core,
+otherwise on the least-loaded little core (sleep does not decay load,
+per the paper, so a bursty task returns to a big core directly).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.platform.coretypes import CoreType
+from repro.sched.balance import balance_cluster, least_loaded
+from repro.sched.params import HMPParams
+from repro.sim.core import SimCore
+from repro.sim.task import Task, TaskState
+
+
+class HMPScheduler:
+    """Migration scheduler over one little and one big core group."""
+
+    def __init__(self, cores: list[SimCore], params: HMPParams):
+        self.params = params
+        self._by_id = {c.core_id: c for c in cores}
+        self.little_cores = [
+            c for c in cores if c.core_type is CoreType.LITTLE and c.enabled
+        ]
+        self.big_cores = [c for c in cores if c.core_type is CoreType.BIG and c.enabled]
+        if not self.little_cores and not self.big_cores:
+            raise ValueError("HMP requires at least one enabled core")
+
+    def cores_for(self, core_type: CoreType) -> list[SimCore]:
+        return self.little_cores if core_type is CoreType.LITTLE else self.big_cores
+
+    # -- wake placement ----------------------------------------------------
+
+    def place_wakeup(self, task: Task) -> SimCore:
+        """Choose a core for a newly created or just-woken task.
+
+        Placement keeps the migration hysteresis: a task waking from a
+        short sleep stays in its previous cluster unless its tracked
+        load crossed the relevant threshold — a big-resident task only
+        drops to little below the *down*-threshold, and a little-
+        resident (or new) task only climbs above the *up*-threshold.
+        Without this, every micro-sleep would reset big-core residency.
+
+        Within the chosen cluster the task's previous core is preferred
+        when idle (wake affinity, as in ``select_idle_sibling``); that
+        per-thread core stability is what the TLP sampling observes as
+        concurrently active cores.
+        """
+        group = self._wakeup_group(task)
+        prev = self._by_id.get(task.last_core_id)
+        if prev is not None and prev.enabled and prev in group and prev.nr_running() == 0:
+            return prev
+        return least_loaded(group)
+
+    def _wakeup_group(self, task: Task) -> list[SimCore]:
+        if not self.little_cores:
+            return self.big_cores
+        if not self.big_cores:
+            return self.little_cores
+        prev = self._by_id.get(task.last_core_id)
+        was_big = prev is not None and prev.core_type is CoreType.BIG and prev.enabled
+        load = task.load.value
+        if was_big:
+            return self.little_cores if load < self.params.down_threshold else self.big_cores
+        if load > self.params.up_threshold and least_loaded(self.big_cores).nr_running() == 0:
+            # Go big only when a big core is actually free: stacking
+            # several heavy tasks on one big core is slower than
+            # spreading them over little cores (big-cluster overload
+            # guard, as in the Linaro HMP patches).
+            return self.big_cores
+        return self.little_cores
+
+    # -- periodic migration pass (Algorithm 1) -----------------------------
+
+    def tick(self, cores: list[SimCore]) -> int:
+        """Run one migration + balancing pass; returns migrations done."""
+        migrations = 0
+        for core in cores:
+            if not core.enabled:
+                continue
+            # Snapshot: migration mutates runqueues.
+            for task in list(core.runqueue):
+                if task.state is not TaskState.RUNNABLE:
+                    continue
+                target = self._migration_target(core, task)
+                if target is not None:
+                    core.dequeue(task)
+                    target.enqueue(task)
+                    task.migrations += 1
+                    migrations += 1
+        migrations += self._offload_overloaded_big()
+        balance_cluster(self.little_cores)
+        balance_cluster(self.big_cores)
+        return migrations
+
+    def _offload_overloaded_big(self) -> int:
+        """Move excess big-core tasks down to idle little cores.
+
+        A big core timesharing several runnable tasks serves each of
+        them slower than a dedicated little core would; the Linaro HMP
+        offload path resolves this by pushing the lightest extra task
+        down whenever a little core sits idle.
+        """
+        if not self.little_cores:
+            return 0
+        moves = 0
+        for big in self.big_cores:
+            while big.nr_running() >= 2:
+                idle_little = least_loaded(self.little_cores)
+                if idle_little.nr_running() > 0:
+                    return moves
+                candidates = [
+                    t for t in big.runqueue if t.state is TaskState.RUNNABLE
+                ]
+                task = min(candidates, key=lambda t: (t.load.value, t.tid))
+                big.dequeue(task)
+                idle_little.enqueue(task)
+                task.migrations += 1
+                moves += 1
+        return moves
+
+    def _migration_target(self, core: SimCore, task: Task) -> Optional[SimCore]:
+        load = task.load.value
+        if core.core_type is CoreType.LITTLE:
+            if self.big_cores and load > self.params.up_threshold:
+                target = least_loaded(self.big_cores)
+                # Overload guard: never stack a second heavy task onto a
+                # busy big core — it would run slower than where it is.
+                if target.nr_running() == 0:
+                    return target
+            return None
+        if self.little_cores and load < self.params.down_threshold:
+            return least_loaded(self.little_cores)
+        return None

@@ -1,0 +1,122 @@
+"""Parallelism-aware scheduler — the paper's third Section IV.A approach.
+
+"Parallelism-aware scheduling is based on available parallelism.  When
+there is an abundant parallelism in an application, more small cores
+are used, but when the parallelism is low, a big core is used to reduce
+the length of the critical path."
+
+Implementation: the scheduler tracks every task it has placed and
+estimates available parallelism as the number of *live* tasks whose
+tracked load is significant — duty-cycled threads count even while
+momentarily asleep, since they represent usable parallelism.  When that
+count is at or below the number of big cores (a serial or near-serial
+phase), the heaviest runnable tasks — the critical path — run on big
+cores regardless of the utilization thresholds; when parallelism is
+abundant, everything spreads across the energy-efficient little cores.
+A small load floor keeps trivial wakeups (timers, audio ticks) from
+being promoted during quiet moments.
+"""
+
+from __future__ import annotations
+
+from repro.platform.coretypes import CoreType
+from repro.sched.balance import balance_cluster, least_loaded
+from repro.sched.hmp import HMPScheduler
+from repro.sched.params import HMPParams
+from repro.sim.core import SimCore
+from repro.sim.task import Task, TaskState
+
+
+class ParallelismAwareScheduler(HMPScheduler):
+    """Serial phases ride big cores; parallel phases spread over littles."""
+
+    def __init__(
+        self,
+        cores: list[SimCore],
+        params: HMPParams,
+        min_load: float = 128.0,
+        parallel_threshold: int | None = None,
+    ):
+        super().__init__(cores, params)
+        self.min_load = min_load
+        # "Low parallelism" = no more significant tasks than big cores.
+        self.parallel_threshold = (
+            parallel_threshold
+            if parallel_threshold is not None
+            else max(1, len(self.big_cores))
+        )
+        self._known: dict[int, Task] = {}
+
+    def available_parallelism(self) -> int:
+        """Live tasks with significant load (sleeping ones included)."""
+        dead = [
+            tid for tid, t in self._known.items() if t.state is TaskState.FINISHED
+        ]
+        for tid in dead:
+            del self._known[tid]
+        return sum(
+            1
+            for t in self._known.values()
+            if t.load is not None and t.load.value >= self.min_load
+        )
+
+    def tick(self, cores: list[SimCore]) -> int:
+        if not self.big_cores or not self.little_cores:
+            return super().tick(cores)
+
+        runnable = []
+        for core in cores:
+            if not core.enabled:
+                continue
+            for t in core.runqueue:
+                self._known[t.tid] = t
+                if t.state is TaskState.RUNNABLE:
+                    runnable.append(t)
+        parallelism = self.available_parallelism()
+        serial_phase = bool(runnable) and parallelism <= self.parallel_threshold
+        if serial_phase:
+            heavy = sorted(
+                (t for t in runnable if t.load.value >= self.min_load),
+                key=lambda t: (-t.load.value, t.tid),
+            )
+            chosen = {t.tid for t in heavy[: len(self.big_cores)]}
+        else:
+            chosen = set()
+
+        migrations = 0
+        for core in cores:
+            if not core.enabled:
+                continue
+            for task in list(core.runqueue):
+                if task.state is not TaskState.RUNNABLE:
+                    continue
+                wants_big = task.tid in chosen
+                on_big = core.core_type is CoreType.BIG
+                if wants_big and not on_big:
+                    target = least_loaded(self.big_cores)
+                    if target.nr_running() == 0:
+                        core.dequeue(task)
+                        target.enqueue(task)
+                        task.migrations += 1
+                        migrations += 1
+                elif on_big and not wants_big:
+                    core.dequeue(task)
+                    least_loaded(self.little_cores).enqueue(task)
+                    task.migrations += 1
+                    migrations += 1
+        balance_cluster(self.little_cores)
+        balance_cluster(self.big_cores)
+        return migrations
+
+    def place_wakeup(self, task: Task) -> SimCore:
+        """Wakes always land little; the tick pass promotes serial phases."""
+        group = self.little_cores or self.big_cores
+        prev = self._by_id.get(task.last_core_id)
+        if (
+            prev is not None
+            and prev.enabled
+            and prev in group
+            and prev.nr_running() == 0
+        ):
+            return prev
+        return least_loaded(group)

@@ -1,0 +1,163 @@
+"""Scheduler and governor parameter sets.
+
+The paper's Section VI.C evaluates the baseline HMP/interactive
+configuration against eight variants:
+
+====================  =========================================
+``interval-60``       governor sampling interval 20 ms -> 60 ms
+``interval-100``      governor sampling interval 20 ms -> 100 ms
+``target-high-80``    governor target load 70 -> 80
+``target-low-60``     governor target load 70 -> 60
+``hmp-conservative``  HMP thresholds (700, 256) -> (850, 400)
+``hmp-aggressive``    HMP thresholds (700, 256) -> (550, 100)
+``weight-2x``         load-history half-life 32 ms -> 64 ms
+``weight-half``       load-history half-life 32 ms -> 16 ms
+====================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.units import GOVERNOR_SAMPLE_MS, LOAD_SCALE
+
+
+@dataclass(frozen=True)
+class HMPParams:
+    """Parameters of the HMP migration scheduler (paper Algorithm 1).
+
+    Attributes:
+        up_threshold: task load (on the 0..1024 scale) above which a task
+            on a little core migrates to a big core.
+        down_threshold: task load below which a task on a big core
+            migrates back to a little core.
+        history_halflife_ms: the load-history time weight.  The paper's
+            default weights a 1 ms load sample from 32 ms ago by 50%; the
+            "2x weight" variant doubles the scale (64 ms half-life) and
+            the "1/2 weight" variant halves it (16 ms).
+    """
+
+    up_threshold: int = 700
+    down_threshold: int = 256
+    history_halflife_ms: float = 32.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.down_threshold < self.up_threshold <= LOAD_SCALE:
+            raise ValueError(
+                f"thresholds must satisfy 0 < down < up <= {LOAD_SCALE}: "
+                f"got up={self.up_threshold}, down={self.down_threshold}"
+            )
+        if self.history_halflife_ms <= 0:
+            raise ValueError(
+                f"history_halflife_ms must be positive, got {self.history_halflife_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class GovernorParams:
+    """Parameters of the interactive frequency governor (paper Algorithm 2).
+
+    Attributes:
+        sampling_ms: evaluation period (paper default 20 ms).
+        target_load: utilization the governor aims for when scaling
+            (``target_freq = freq * util / target_load``); also the
+            up-threshold that triggers the hispeed jump, per the paper's
+            description ("the default target load is 70").
+        down_threshold: utilization below which frequency is re-scaled
+            downward; between the two thresholds frequency is held.
+        hold_ms: minimum time a raised frequency is kept before the
+            governor may scale down (the real interactive governor's
+            ``min_sample_time``, 80 ms by default) — the mechanism that
+            leaves capacity over-provisioned after bursts.
+        hispeed_fraction: the preset "hispeed" frequency as a fraction of
+            the cluster's maximum, snapped up to a real OPP.
+        hispeed_enabled: whether the responsiveness jump is active at
+            all (disabled for the ablation study — the governor then
+            ramps only proportionally to load).
+    """
+
+    sampling_ms: int = GOVERNOR_SAMPLE_MS
+    target_load: float = 0.70
+    down_threshold: float = 0.50
+    hold_ms: int = 80
+    hispeed_fraction: float = 0.80
+    hispeed_enabled: bool = True
+    #: Touch/input booster: on a user-input notification the cluster
+    #: frequency is floored at the hispeed point for this long.  Ships
+    #: disabled; the paper's platform description does not include it
+    #: (it arrived in later Android builds), so it is studied as an
+    #: extension.
+    input_boost_ms: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sampling_ms <= 0:
+            raise ValueError(f"sampling_ms must be positive, got {self.sampling_ms}")
+        if self.hold_ms < 0:
+            raise ValueError(f"hold_ms must be non-negative, got {self.hold_ms}")
+        if self.input_boost_ms < 0:
+            raise ValueError(
+                f"input_boost_ms must be non-negative, got {self.input_boost_ms}"
+            )
+        if not 0.0 < self.target_load <= 1.0:
+            raise ValueError(f"target_load must be in (0, 1], got {self.target_load}")
+        if not 0.0 <= self.down_threshold < self.target_load:
+            raise ValueError(
+                "down_threshold must be in [0, target_load): "
+                f"got {self.down_threshold} vs target {self.target_load}"
+            )
+        if not 0.0 < self.hispeed_fraction <= 1.0:
+            raise ValueError(
+                f"hispeed_fraction must be in (0, 1], got {self.hispeed_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """A named (HMP, governor) parameter combination."""
+
+    name: str
+    hmp: HMPParams
+    governor: GovernorParams
+
+
+def baseline_config() -> SchedulerConfig:
+    """The platform defaults: HMP (700, 256, 32 ms), interactive (20 ms, 70)."""
+    return SchedulerConfig(name="baseline", hmp=HMPParams(), governor=GovernorParams())
+
+
+def variant_configs() -> list[SchedulerConfig]:
+    """The paper's eight Section VI.C variants, in figure order.
+
+    The first four vary the DVFS governor, the last four the HMP scheduler.
+    """
+    base = baseline_config()
+    return [
+        SchedulerConfig(
+            "interval-60", base.hmp, replace(base.governor, sampling_ms=60)
+        ),
+        SchedulerConfig(
+            "interval-100", base.hmp, replace(base.governor, sampling_ms=100)
+        ),
+        SchedulerConfig(
+            "target-high-80", base.hmp, replace(base.governor, target_load=0.80)
+        ),
+        SchedulerConfig(
+            "target-low-60", base.hmp, replace(base.governor, target_load=0.60)
+        ),
+        SchedulerConfig(
+            "hmp-conservative",
+            replace(base.hmp, up_threshold=850, down_threshold=400),
+            base.governor,
+        ),
+        SchedulerConfig(
+            "hmp-aggressive",
+            replace(base.hmp, up_threshold=550, down_threshold=100),
+            base.governor,
+        ),
+        SchedulerConfig(
+            "weight-2x", replace(base.hmp, history_halflife_ms=64.0), base.governor
+        ),
+        SchedulerConfig(
+            "weight-half", replace(base.hmp, history_halflife_ms=16.0), base.governor
+        ),
+    ]

@@ -1,0 +1,51 @@
+"""Deterministic discrete-time execution engine (substrate 2).
+
+The engine advances in fixed 1 ms ticks (the paper's load-history
+granularity).  Within a tick each enabled core executes its runnable
+tasks under processor sharing, so per-tick busy fractions are continuous.
+The HMP scheduler runs every tick, the interactive governor every
+sampling period, and a trace records per-tick activity, frequency, and
+power for the analysis toolkit.
+
+Attribute access is lazy to keep the scheduler package (which needs
+``repro.sim.core``) importable without pulling in the engine (which
+needs the scheduler package) — the classic two-package cycle.
+"""
+
+from typing import Any
+
+__all__ = [
+    "Channel",
+    "SimConfig",
+    "Simulator",
+    "Sleep",
+    "SleepUntil",
+    "Task",
+    "TaskState",
+    "Trace",
+    "WaitSignal",
+    "Work",
+]
+
+_EXPORTS = {
+    "Channel": "repro.sim.task",
+    "Sleep": "repro.sim.task",
+    "SleepUntil": "repro.sim.task",
+    "Task": "repro.sim.task",
+    "TaskState": "repro.sim.task",
+    "WaitSignal": "repro.sim.task",
+    "Work": "repro.sim.task",
+    "SimConfig": "repro.sim.engine",
+    "Simulator": "repro.sim.engine",
+    "Trace": "repro.sim.trace",
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.sim' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,143 @@
+"""Per-core runtime state and intra-tick execution.
+
+Each :class:`SimCore` owns a runqueue of tasks.  Within one engine tick
+the core executes its runnable tasks under **processor sharing** with
+water-filling: the tick's wall time is divided equally among runnable
+tasks, and time unused by tasks that block or finish early is
+redistributed to the remaining ones.  This yields continuous per-tick
+busy fractions and per-task CPU time without sub-tick event scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.platform.coretypes import CoreSpec, CoreType
+from repro.platform.perfmodel import WorkClass, throughput_units_per_sec
+from repro.sim.task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+_TIME_EPS_S = 1e-12
+
+
+class SimCore:
+    """One physical core: identity, runqueue, and per-tick accounting."""
+
+    def __init__(self, core_id: int, spec: CoreSpec, enabled: bool, max_freq_khz: int):
+        self.core_id = core_id
+        self.spec = spec
+        self.enabled = enabled
+        self.max_freq_khz = max_freq_khz
+        self.freq_khz = 0  # set by the engine/governor before execution
+        self.runqueue: list[Task] = []
+
+        # Per-tick accounting (reset each tick).
+        self.busy_in_tick_s = 0.0
+        self.activity_weighted_s = 0.0
+        self.tick_tasks: list[Task] = []
+        self.nr_start = 0
+
+        # Governor window accounting (reset each governor sample).
+        self.busy_in_window_s = 0.0
+
+        # cpuidle: consecutive fully-idle ticks (engine-maintained).
+        self.idle_ticks = 0
+
+        # DRAM contention multiplier for this tick (engine-maintained,
+        # derived from the previous tick's busy core count).
+        self.memory_contention = 1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"SimCore({self.core_id}, {self.spec.core_type.value}, "
+            f"{'on' if self.enabled else 'off'}, rq={len(self.runqueue)})"
+        )
+
+    @property
+    def core_type(self) -> CoreType:
+        return self.spec.core_type
+
+    def nr_running(self) -> int:
+        """Number of runnable tasks queued on this core."""
+        return sum(1 for t in self.runqueue if t.state is TaskState.RUNNABLE)
+
+    def queued_load(self) -> float:
+        """Sum of tracked loads of runnable tasks (for balancing decisions)."""
+        return sum(t.load.value for t in self.runqueue if t.state is TaskState.RUNNABLE)
+
+    def enqueue(self, task: Task) -> None:
+        if task.core_id is not None:
+            raise RuntimeError(f"task {task.name} already on core {task.core_id}")
+        task.core_id = self.core_id
+        self.runqueue.append(task)
+
+    def dequeue(self, task: Task) -> None:
+        self.runqueue.remove(task)
+        task.last_core_id = self.core_id
+        task.core_id = None
+
+    def begin_tick(self) -> None:
+        self.busy_in_tick_s = 0.0
+        self.activity_weighted_s = 0.0
+        for task in self.runqueue:
+            task.busy_in_tick_s = 0.0
+            task.runnable_at_tick_start = task.state is TaskState.RUNNABLE
+        # Snapshot the tick's participants: tasks that block mid-tick are
+        # dequeued immediately, but their load must still be sampled for
+        # the portion of the tick they ran (otherwise bursty tasks would
+        # never accumulate load).
+        self.tick_tasks = [t for t in self.runqueue if t.runnable_at_tick_start]
+        self.nr_start = len(self.tick_tasks)
+
+    def execute_tick(self, tick_s: float, sim: "Simulator") -> None:
+        """Run this core's runnable tasks for one tick (water-filling)."""
+        if not self.enabled:
+            return
+        remaining = tick_s
+        # Tasks woken mid-loop by other cores' posts are handled next tick,
+        # so snapshot the runnable set per water-filling round.
+        while remaining > _TIME_EPS_S:
+            active = [
+                t
+                for t in self.runqueue
+                if t.state is TaskState.RUNNABLE and t.runnable_at_tick_start
+            ]
+            if not active:
+                break
+            share = remaining / len(active)
+            used_sum = 0.0
+            any_blocked = False
+            for task in active:
+                used = task.run_for(share, self._throughput_fn(), sim)
+                used_sum += used
+                self.activity_weighted_s += used * task.current_activity_factor()
+                if task.state is not TaskState.RUNNABLE:
+                    any_blocked = True
+            self.busy_in_tick_s += used_sum
+            remaining -= used_sum
+            if not any_blocked:
+                # Everyone consumed a full share; the tick is exhausted up
+                # to float error.
+                break
+        self.busy_in_window_s += self.busy_in_tick_s
+
+    def _throughput_fn(self):
+        spec, freq, contention = self.spec, self.freq_khz, self.memory_contention
+
+        def tput(work_class: WorkClass) -> float:
+            return throughput_units_per_sec(
+                spec, freq, work_class, memory_contention=contention
+            )
+
+        return tput
+
+    def busy_fraction(self, tick_s: float) -> float:
+        return min(1.0, self.busy_in_tick_s / tick_s)
+
+    def mean_activity_factor(self) -> float:
+        """CPU-time-weighted activity factor of work run this tick."""
+        if self.busy_in_tick_s <= 0:
+            return 1.0
+        return self.activity_weighted_s / self.busy_in_tick_s

@@ -1,0 +1,359 @@
+"""The simulation engine: ties cores, scheduler, governor, and tasks together.
+
+Tick pipeline (1 ms per tick):
+
+1. resolve channel signals and sleep expirations; place woken tasks on
+   cores via the HMP wake-placement rule;
+2. execute every enabled core for the tick (processor sharing);
+3. update per-task load tracking (frequency-normalized samples; sleeping
+   tasks are not updated — paper Algorithm 1);
+4. run the HMP migration and balancing pass;
+5. advance the per-cluster governors;
+6. record the tick into the trace (activity, frequencies, system power).
+
+The engine stops at ``max_seconds``, when a task requests a stop (used
+by latency-app driver scripts), or when every task has finished.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.platform.chip import ChipSpec, CoreConfig, exynos5422
+from repro.platform.coretypes import CoreType
+from repro.platform.gpu import GpuSpec
+from repro.platform.thermal import ThermalModel, ThermalParams
+from repro.sim.gpu import GpuDevice
+from repro.sched.governor import (
+    ClusterFreqDomain,
+    Governor,
+    InteractiveGovernor,
+)
+from repro.sched.hmp import HMPScheduler
+from repro.sched.load import LoadTracker
+from repro.sched.params import SchedulerConfig, baseline_config
+from repro.sim.core import SimCore
+from repro.sim.rng import RngStream
+from repro.sim.task import Channel, Task, TaskState
+from repro.sim.trace import Trace
+from repro.units import LOAD_SCALE, TICK_MS
+
+
+@dataclass
+class SimConfig:
+    """Everything that defines one simulation run (workloads aside)."""
+
+    chip: ChipSpec = field(default_factory=exynos5422)
+    core_config: Optional[CoreConfig] = None  # default: all cores enabled
+    scheduler: SchedulerConfig = field(default_factory=baseline_config)
+    governors: Optional[dict[CoreType, Governor]] = None  # default: interactive
+    #: Alternative scheduler class/factory with the HMPScheduler
+    #: interface (e.g. repro.sched.efficiency_sched.EfficiencyScheduler).
+    scheduler_factory: Optional[Callable[..., HMPScheduler]] = None
+    #: Thermal model parameters; None disables throttling (the paper's
+    #: short interactive runs are unthrottled).
+    thermal: Optional[ThermalParams] = None
+    #: GPU model; None (default) omits the GPU, matching the paper's
+    #: CPU-centric measurements.  When set, tasks may submit GPU jobs
+    #: via ``sim.gpu`` and GPU power joins the system total.
+    gpu: Optional[GpuSpec] = None
+    max_seconds: float = 30.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.core_config is None:
+            self.core_config = self.chip.max_config()
+        self.chip.validate_config(self.core_config)
+        if self.max_seconds <= 0:
+            raise ValueError(f"max_seconds must be positive, got {self.max_seconds}")
+
+
+class Simulator:
+    """One deterministic run of the asymmetric platform."""
+
+    def __init__(self, config: SimConfig):
+        self.config = config
+        self.rng = RngStream(config.seed)
+        self.tick = 0
+        self.tick_s = TICK_MS / 1000.0
+        self.max_ticks = int(math.ceil(config.max_seconds / self.tick_s))
+        self._stop_requested = False
+
+        chip = config.chip
+        cc = config.core_config
+        self.cores: list[SimCore] = []
+        for i in range(chip.little_cluster.num_cores):
+            self.cores.append(
+                SimCore(
+                    core_id=i,
+                    spec=chip.little_cluster.spec,
+                    enabled=i < cc.little,
+                    max_freq_khz=chip.little_cluster.opp_table.max_khz,
+                )
+            )
+        offset = chip.little_cluster.num_cores
+        for i in range(chip.big_cluster.num_cores):
+            self.cores.append(
+                SimCore(
+                    core_id=offset + i,
+                    spec=chip.big_cluster.spec,
+                    enabled=i < cc.big,
+                    max_freq_khz=chip.big_cluster.opp_table.max_khz,
+                )
+            )
+
+        self.domains = {
+            CoreType.LITTLE: ClusterFreqDomain(
+                CoreType.LITTLE, chip.little_cluster.opp_table, self.cores
+            ),
+            CoreType.BIG: ClusterFreqDomain(
+                CoreType.BIG, chip.big_cluster.opp_table, self.cores
+            ),
+        }
+        if config.governors is not None:
+            self.governors = dict(config.governors)
+        else:
+            self.governors = {
+                CoreType.LITTLE: InteractiveGovernor(config.scheduler.governor),
+                CoreType.BIG: InteractiveGovernor(config.scheduler.governor),
+            }
+        for core_type, governor in self.governors.items():
+            governor.start(self.domains[core_type])
+
+        factory = config.scheduler_factory or HMPScheduler
+        self.hmp = factory(self.cores, config.scheduler.hmp)
+
+        self.thermal: Optional[ThermalModel] = None
+        if config.thermal is not None:
+            self.thermal = ThermalModel(
+                config.thermal, chip.big_cluster.opp_table.frequencies_khz
+            )
+        self.gpu: Optional[GpuDevice] = (
+            GpuDevice(config.gpu) if config.gpu is not None else None
+        )
+
+        self.tasks: list[Task] = []
+        self._sleeping: list[Task] = []
+        self._watched_channels: list[Channel] = []
+        self._unfinished = 0
+        self._tick_hooks: list[Callable[["Simulator"], None]] = []
+        self._wakeups_this_tick = 0
+        self._busy_cores_prev = 0
+
+        self.trace = Trace(
+            core_types=[c.core_type for c in self.cores],
+            enabled=[c.enabled for c in self.cores],
+            max_ticks=self.max_ticks,
+        )
+
+    # -- time ------------------------------------------------------------
+
+    @property
+    def now_s(self) -> float:
+        return self.tick * self.tick_s
+
+    def tick_for_time(self, time_s: float) -> int:
+        """The first tick boundary at or after ``time_s``."""
+        return int(math.ceil(time_s / self.tick_s - 1e-9))
+
+    def request_stop(self) -> None:
+        self._stop_requested = True
+
+    def notify_input(self) -> None:
+        """Signal a user-input event to input-boost-capable governors.
+
+        Workload drivers call this (via TaskContext) at each user
+        action; governors without boost support ignore it.
+        """
+        for core_type, governor in self.governors.items():
+            boost = getattr(governor, "notify_input", None)
+            if boost is not None:
+                boost(self.domains[core_type])
+
+    def add_tick_hook(self, hook: Callable[["Simulator"], None]) -> None:
+        """Register a callable invoked each tick after execution.
+
+        Hooks run after cores execute and loads update, but before the
+        HMP migration pass, so per-tick task accounting
+        (``busy_in_tick_s``, ``tick_tasks``) is complete and placement
+        still reflects where the work actually ran.  Used by observers
+        such as :class:`repro.core.taskstats.TaskStatsCollector`.
+        """
+        self._tick_hooks.append(hook)
+
+    # -- task management ---------------------------------------------------
+
+    def spawn(self, task: Task, rng: Optional[RngStream] = None) -> Task:
+        """Register a task and start its behaviour generator."""
+        task.load = LoadTracker(
+            halflife_ms=self.config.scheduler.hmp.history_halflife_ms,
+            initial=task.initial_load,
+        )
+        # The RNG stream is keyed by the task's name and its spawn order
+        # *within this simulation* — never by any process-global state —
+        # so identical configurations replay identically regardless of
+        # what else ran earlier in the process.
+        stream_key = f"task/{task.name}/{len(self.tasks)}"
+        self.tasks.append(task)
+        self._unfinished += 1
+        task.start(self, rng or self.rng.split(stream_key))
+        if task.state is TaskState.RUNNABLE:
+            self.hmp.place_wakeup(task).enqueue(task)
+        return task
+
+    def channel(self, name: str = "chan") -> Channel:
+        return Channel(name)
+
+    def on_task_blocked(self, task: Task) -> None:
+        """Called by Task when it transitions to SLEEPING/WAITING."""
+        task.blocked_at_tick = self.tick
+        if task.core_id is not None:
+            self.cores[task.core_id].dequeue(task)
+        if task.state is TaskState.SLEEPING:
+            self._sleeping.append(task)
+
+    def on_task_finished(self, task: Task) -> None:
+        if task.core_id is not None:
+            self.cores[task.core_id].dequeue(task)
+        self._unfinished -= 1
+
+    def watch_channel(self, channel: Channel) -> None:
+        if channel not in self._watched_channels:
+            self._watched_channels.append(channel)
+
+    def _wake(self, task: Task) -> None:
+        """Wake a task whose blocking directive completed.
+
+        The task's generator is advanced past the completed Sleep/Wait
+        directive; it may immediately block again (chained sleeps), in
+        which case no placement happens.  Wakes are counted for the
+        trace's wakeup-rate statistics.
+        """
+        self._wakeups_this_tick += 1
+        task.state = TaskState.RUNNABLE
+        task.wake_tick = None
+        # Age the load history over the blocked period (PELT semantics:
+        # sleep adds no samples but still passes time).
+        if task.blocked_at_tick is not None:
+            task.load.decay(self.tick - task.blocked_at_tick)
+            task.blocked_at_tick = None
+        task._advance(self)
+        if task.state is TaskState.RUNNABLE:
+            self.hmp.place_wakeup(task).enqueue(task)
+
+    def _process_wakeups(self) -> None:
+        # Sleep expirations.
+        if self._sleeping:
+            due = [t for t in self._sleeping if t.wake_tick is not None and t.wake_tick <= self.tick]
+            if due:
+                self._sleeping = [t for t in self._sleeping if t not in due]
+                for task in due:
+                    self._wake(task)
+        # Channel signals (FIFO per channel).
+        if self._watched_channels:
+            still_watched = []
+            for chan in self._watched_channels:
+                while chan.waiters and chan.permits >= chan.waiters[0][1]:
+                    task, needed = chan.waiters.pop(0)
+                    chan.permits -= needed
+                    self._wake(task)
+                if chan.waiters:
+                    still_watched.append(chan)
+            self._watched_channels = still_watched
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> Trace:
+        """Run to completion and return the finalized trace."""
+        while self.tick < self.max_ticks and not self._stop_requested:
+            self._step()
+            if self._unfinished == 0:
+                break
+        self.trace.finalize()
+        return self.trace
+
+    def _step(self) -> None:
+        self._wakeups_this_tick = 0
+        self._process_wakeups()
+
+        # DRAM contention for this tick, from the previous tick's busy
+        # core count (one-tick lag keeps the computation causal).
+        contention = self.config.chip.memory_contention(self._busy_cores_prev)
+        for core in self.cores:
+            core.begin_tick()
+            core.memory_contention = contention
+        for core in self.cores:
+            core.execute_tick(self.tick_s, self)
+
+        self._update_loads()
+        for hook in self._tick_hooks:
+            hook(self)
+        self.hmp.tick(self.cores)
+        for core_type, governor in self.governors.items():
+            governor.tick(self.domains[core_type], self.tick, self.tick_s)
+
+        self._record_tick()
+        self.tick += 1
+
+    def _update_loads(self) -> None:
+        """Frequency-normalized per-task load samples (Algorithm 1 step 1)."""
+        for core in self.cores:
+            if not core.enabled:
+                continue
+            freq_scale = core.freq_khz / core.max_freq_khz
+            n = max(1, core.nr_start)
+            for task in core.tick_tasks:
+                if task.state is TaskState.FINISHED:
+                    continue
+                runnable_frac = min(1.0, task.busy_in_tick_s * n / self.tick_s)
+                task.load.update(runnable_frac * freq_scale * LOAD_SCALE)
+
+    def _record_tick(self) -> None:
+        pm = self.config.chip.power_model
+        deep_entry_ticks = pm.params.deep_idle_entry_ms / (self.tick_s * 1000.0)
+        busy = []
+        core_powers = []
+        cluster_cpu_mw = {CoreType.LITTLE: 0.0, CoreType.BIG: 0.0}
+        for core in self.cores:
+            frac = core.busy_fraction(self.tick_s) if core.enabled else 0.0
+            busy.append(frac)
+            if core.enabled:
+                # cpuidle: WFI immediately; deep power-down after the
+                # core has been continuously idle past the threshold.
+                if frac <= 0.0:
+                    core.idle_ticks += 1
+                else:
+                    core.idle_ticks = 0
+                domain = self.domains[core.core_type]
+                core_mw = pm.core_power_mw(
+                    core.core_type,
+                    core.freq_khz,
+                    domain.voltage_v(),
+                    frac,
+                    core.mean_activity_factor(),
+                    deep_idle=core.idle_ticks >= deep_entry_ticks,
+                )
+                core_powers.append(core_mw)
+                cluster_cpu_mw[core.core_type] += core_mw
+        cluster_powers = [
+            pm.cluster_power_mw(ct, any(c.enabled for c in self.domains[ct].cores))
+            for ct in (CoreType.LITTLE, CoreType.BIG)
+        ]
+        self._busy_cores_prev = sum(1 for b in busy if b > 0.0)
+        power = pm.system_power_mw(core_powers, cluster_powers)
+        if self.gpu is not None:
+            power += self.gpu.tick(self.tick_s)
+        if self.thermal is not None:
+            cap = self.thermal.step(power, self.tick_s)
+            self.domains[CoreType.BIG].set_cap(cap)
+        self.trace.record(
+            busy,
+            self.domains[CoreType.LITTLE].freq_khz,
+            self.domains[CoreType.BIG].freq_khz,
+            power,
+            wakeups=self._wakeups_this_tick,
+            little_cpu_mw=cluster_cpu_mw[CoreType.LITTLE],
+            big_cpu_mw=cluster_cpu_mw[CoreType.BIG],
+        )

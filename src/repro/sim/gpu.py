@@ -1,0 +1,89 @@
+"""GPU runtime: job queue, utilization-based DVFS, completion signalling.
+
+Tasks submit jobs with ``sim.gpu.submit(units, done_channel)``; the
+device drains its FIFO each tick at the current frequency and posts to
+the job's channel on completion (delivered at the next tick boundary,
+like every wake).  A simple utilization governor scales the GPU
+frequency every 20 ms, mirroring the CPU-side interactive governor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.gpu import GpuSpec
+from repro.sim.task import Channel
+
+
+@dataclass
+class _GpuJob:
+    remaining_units: float
+    done: Channel
+
+
+class GpuDevice:
+    """One GPU: FIFO execution at a governed frequency."""
+
+    #: Governor sampling period in ticks (1 ms each).
+    GOVERNOR_PERIOD_TICKS = 20
+    TARGET_UTIL = 0.75
+    DOWN_UTIL = 0.40
+
+    def __init__(self, spec: GpuSpec):
+        self.spec = spec
+        self.freq_khz = spec.opp_table.min_khz
+        self._queue: list[_GpuJob] = []
+        self.busy_in_tick_s = 0.0
+        self._window_busy_s = 0.0
+        self._window_ticks = 0
+        self.total_busy_s = 0.0
+        self.jobs_completed = 0
+        self.energy_mj = 0.0
+
+    def submit(self, units: float, done: Channel) -> None:
+        """Queue ``units`` of GPU work; ``done`` is posted on completion."""
+        if units <= 0:
+            raise ValueError(f"GPU job units must be positive, got {units}")
+        self._queue.append(_GpuJob(remaining_units=units, done=done))
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def tick(self, tick_s: float) -> float:
+        """Advance one tick; returns this tick's GPU power (mW)."""
+        self.busy_in_tick_s = 0.0
+        budget_s = tick_s
+        tput = self.spec.throughput_units_per_sec(self.freq_khz)
+        while self._queue and budget_s > 1e-12:
+            job = self._queue[0]
+            need_s = job.remaining_units / tput
+            dt = min(need_s, budget_s)
+            job.remaining_units -= dt * tput
+            budget_s -= dt
+            self.busy_in_tick_s += dt
+            if job.remaining_units <= 1e-12:
+                self._queue.pop(0)
+                job.done.post()
+                self.jobs_completed += 1
+        self.total_busy_s += self.busy_in_tick_s
+
+        self._window_busy_s += self.busy_in_tick_s
+        self._window_ticks += 1
+        if self._window_ticks >= self.GOVERNOR_PERIOD_TICKS:
+            self._govern(self._window_busy_s / (self._window_ticks * tick_s))
+            self._window_busy_s = 0.0
+            self._window_ticks = 0
+
+        busy_fraction = min(1.0, self.busy_in_tick_s / tick_s)
+        power = self.spec.power_mw(self.freq_khz, busy_fraction)
+        self.energy_mj += power * tick_s
+        return power
+
+    def _govern(self, util: float) -> None:
+        table = self.spec.opp_table
+        if util > self.TARGET_UTIL:
+            self.freq_khz = table.ceil(self.freq_khz + 1)
+        elif util < self.DOWN_UTIL:
+            target = table.ceil(int(self.freq_khz * max(util, 0.01) / self.TARGET_UTIL))
+            self.freq_khz = target

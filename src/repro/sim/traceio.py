@@ -1,0 +1,75 @@
+"""Trace persistence: save simulation traces to disk and reload them.
+
+Traces are the interface between simulation and analysis; persisting
+them lets expensive runs be archived, diffed across code versions, and
+analyzed offline (all of :mod:`repro.core` works on loaded traces).
+
+Format: a single ``.npz`` file holding the busy/frequency/power arrays
+plus a small JSON-encoded header with core metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.platform.coretypes import CoreType
+from repro.sim.trace import Trace
+
+FORMAT_VERSION = 2  # v2 added per-cluster CPU power and wakeup counts
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write ``trace`` to ``path`` (``.npz``)."""
+    header = {
+        "version": FORMAT_VERSION,
+        "core_types": [t.value for t in trace.core_types],
+        "enabled": list(trace.enabled),
+        "tick_s": trace.tick_s,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        busy=trace.busy,
+        freq=np.stack([
+            trace.freq_khz(CoreType.LITTLE),
+            trace.freq_khz(CoreType.BIG),
+        ]),
+        power=trace.power_mw,
+        cpu_power=np.stack([
+            trace.cpu_power_mw(CoreType.LITTLE),
+            trace.cpu_power_mw(CoreType.BIG),
+        ]),
+        wakeups=trace.wakeups,
+    )
+
+
+def load_trace(path: str) -> Trace:
+    """Load a trace previously written by :func:`save_trace`."""
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode())
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {header.get('version')!r} in {path}"
+            )
+        busy = np.array(data["busy"], dtype=np.float32)
+        freq = np.array(data["freq"], dtype=np.int32)
+        power = np.array(data["power"], dtype=np.float32)
+        cpu_power = np.array(data["cpu_power"], dtype=np.float32)
+        wakeups = np.array(data["wakeups"], dtype=np.int16)
+
+    core_types = [CoreType(v) for v in header["core_types"]]
+    n_ticks = busy.shape[1]
+    trace = Trace(core_types, list(header["enabled"]), max_ticks=max(1, n_ticks))
+    trace._busy[:, :n_ticks] = busy
+    trace._freq[:, :n_ticks] = freq
+    trace._power[:n_ticks] = power
+    trace._cpu_power[:, :n_ticks] = cpu_power
+    trace._wakeups[:n_ticks] = wakeups
+    trace._len = n_ticks
+    trace.finalize()
+    return trace

@@ -1,0 +1,39 @@
+"""Workload models (substrate 4).
+
+Three workload families from the paper's methodology (Section II):
+
+- :mod:`repro.workloads.mobile` — the 12 Android applications of
+  Table II, modeled as multi-threaded burst/frame programs calibrated to
+  the paper's measured TLP and core-usage shapes;
+- :mod:`repro.workloads.spec` — a SPEC-CPU2006-like suite of
+  single-threaded CPU-bound kernels spanning the paper's range of
+  memory-intensity and cache-sensitivity;
+- :mod:`repro.workloads.micro` — the utilization-controlled
+  microbenchmark used for the power-vs-utilization analysis (Figure 6).
+"""
+
+from repro.workloads.base import App, Metric
+from repro.workloads.mobile import (
+    FPS_APP_NAMES,
+    LATENCY_APP_NAMES,
+    MOBILE_APP_NAMES,
+    make_app,
+)
+from repro.workloads.replay import LoadTraceApp
+from repro.workloads.spec import SPEC_BENCHMARKS, SpecBenchmark
+from repro.workloads.micro import UtilizationMicrobenchmark
+from repro.workloads.targets import PAPER_TABLE3
+
+__all__ = [
+    "App",
+    "FPS_APP_NAMES",
+    "LATENCY_APP_NAMES",
+    "LoadTraceApp",
+    "MOBILE_APP_NAMES",
+    "Metric",
+    "PAPER_TABLE3",
+    "SPEC_BENCHMARKS",
+    "SpecBenchmark",
+    "UtilizationMicrobenchmark",
+    "make_app",
+]

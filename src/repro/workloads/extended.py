@@ -1,0 +1,147 @@
+"""Extended application suite: four apps beyond the paper's Table II.
+
+The paper's 12 apps were chosen in 2015; these four cover categories a
+modern characterization would add — camera, navigation, feed scrolling,
+and voice calls — built from the same thread shapes and usable with the
+whole toolkit (``run_app(name, app=make_extended_app(name))`` or simply
+``make_app`` which resolves both suites).
+
+They are *not* part of the paper-artifact experiments (Tables III-V and
+the figures iterate over ``MOBILE_APP_NAMES`` only).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.platform.perfmodel import WorkClass
+from repro.sim.engine import Simulator
+from repro.workloads.base import (
+    ActionSpec,
+    App,
+    BackgroundSpec,
+    FramePipelineSpec,
+    Metric,
+    PeriodicSpec,
+)
+
+#: ISP-assisted camera pipeline work (CPU shepherds the ISP/sensor).
+CAMERA_WORK = WorkClass("camera", compute_fraction=0.85, wss_kb=256, ilp=0.65,
+                        activity_factor=1.05)
+
+#: Map tile decode + vector rasterization.
+MAPS_WORK = WorkClass("maps", compute_fraction=0.75, wss_kb=800, ilp=0.55)
+
+#: Feed layout + image decode.
+FEED_WORK = WorkClass("feed", compute_fraction=0.78, wss_kb=600, ilp=0.55)
+
+#: Voice codec + echo cancellation (DSP-like, tiny footprint).
+VOICE_WORK = WorkClass("voice", compute_fraction=0.92, wss_kb=64, ilp=0.75)
+
+
+class CameraApp(App):
+    """Camera preview: 30 fps viewfinder, autofocus bursts, captures."""
+
+    def __init__(self) -> None:
+        super().__init__("camera", Metric.FPS, CAMERA_WORK,
+                         ambient_ui_duty=0.0, ambient_bg_interval_ms=300)
+
+    def build(self, sim: Simulator) -> None:
+        # Viewfinder: the ISP does the heavy lifting; the CPU runs 3A
+        # (auto-exposure/focus/white-balance) and preview delivery.
+        self.add_frame_pipeline(sim, FramePipelineSpec(
+            logic_units=0.0022, render_units=0.0020, units_sigma=0.25,
+            fps=30, helpers=1))
+        self.add_periodic(sim, PeriodicSpec("3a-stats", period_ms=33.4,
+                                            units_mean=0.0025, units_sigma=0.3))
+        # Occasional full-resolution capture: a JPEG-encode burst.
+        self.add_background(sim, BackgroundSpec("jpeg-capture",
+                                                mean_interval_ms=2500,
+                                                units_mean=0.15, units_sigma=0.3))
+        self.add_periodic(sim, PeriodicSpec("sensor-irq", period_ms=33.4,
+                                            units_mean=0.0008))
+
+
+class MapsApp(App):
+    """Map browsing: pan/zoom gestures triggering parallel tile work."""
+
+    def __init__(self) -> None:
+        super().__init__("maps", Metric.LATENCY, MAPS_WORK,
+                         ambient_ui_duty=0.7, ambient_bg_interval_ms=120)
+
+    def build(self, sim: Simulator) -> None:
+        actions = [ActionSpec("open", main_units=0.12, worker_units=0.05,
+                              io_ms=120, think_ms=700)]
+        for i in range(8):
+            actions.append(ActionSpec(f"pan-{i}", main_units=0.05,
+                                      worker_units=0.035, io_ms=40,
+                                      think_ms=650))
+            if i % 3 == 2:
+                actions.append(ActionSpec(f"zoom-{i}", main_units=0.09,
+                                          worker_units=0.05, io_ms=60,
+                                          think_ms=800))
+        self.add_driver(sim, actions, n_workers=3, work_class=MAPS_WORK)
+        self.add_periodic(sim, PeriodicSpec("gps", period_ms=1000,
+                                            units_mean=0.004))
+
+
+class SocialFeedApp(App):
+    """Infinite feed scrolling: layout bursts + image decode workers."""
+
+    def __init__(self) -> None:
+        super().__init__("social-feed", Metric.LATENCY, FEED_WORK,
+                         ambient_ui_duty=0.8, ambient_bg_interval_ms=90)
+
+    def build(self, sim: Simulator) -> None:
+        actions = []
+        for i in range(14):
+            actions.append(ActionSpec(f"scroll-{i}", main_units=0.045,
+                                      worker_units=0.030, io_ms=25,
+                                      think_ms=900))
+            if i % 4 == 3:
+                actions.append(ActionSpec(f"open-post-{i}", main_units=0.08,
+                                          worker_units=0.04, io_ms=80,
+                                          think_ms=1500))
+        self.add_driver(sim, actions, n_workers=2, work_class=FEED_WORK)
+        self.add_background(sim, BackgroundSpec("prefetch",
+                                                mean_interval_ms=400,
+                                                units_mean=0.012, units_sigma=0.4))
+
+
+class VoiceCallApp(App):
+    """A VoIP call: strictly periodic tiny loads — the ultimate tiny-core
+    candidate (20 ms codec frames, jitter buffer, network keepalive)."""
+
+    def __init__(self) -> None:
+        super().__init__("voice-call", Metric.FPS, VOICE_WORK,
+                         ambient_ui_duty=0.0, ambient_bg_interval_ms=800)
+
+    def build(self, sim: Simulator) -> None:
+        # "Frames" are 50 Hz codec frames; FPS measures codec health.
+        self.add_frame_pipeline(sim, FramePipelineSpec(
+            logic_units=0.0011, render_units=0.0009, units_sigma=0.15,
+            fps=50))
+        self.add_periodic(sim, PeriodicSpec("echo-cancel", period_ms=20,
+                                            units_mean=0.0013))
+        self.add_periodic(sim, PeriodicSpec("network", period_ms=60,
+                                            units_mean=0.0012, duty_prob=0.9))
+
+
+_EXTENDED_FACTORIES: dict[str, Callable[[], App]] = {
+    "camera": CameraApp,
+    "maps": MapsApp,
+    "social-feed": SocialFeedApp,
+    "voice-call": VoiceCallApp,
+}
+
+EXTENDED_APP_NAMES: list[str] = list(_EXTENDED_FACTORIES)
+
+
+def make_extended_app(name: str) -> App:
+    """Instantiate one of the extended-suite applications."""
+    try:
+        return _EXTENDED_FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown extended app {name!r}; available: {', '.join(EXTENDED_APP_NAMES)}"
+        ) from None

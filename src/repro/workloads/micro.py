@@ -1,0 +1,65 @@
+"""Utilization-controlled microbenchmark (paper Section III.B, Figure 6).
+
+The paper's microbenchmark "pauses periodically to control the CPU
+utilization"; combined with fixed core frequencies it maps the power of
+each core type as a function of utilization.  We reproduce it as a
+spin/sleep duty-cycle loop: in each period the task computes for
+``duty * period`` of wall-clock time and sleeps the rest.
+
+Because the pause is wall-clock based, the CPU work per period is scaled
+by the *current* core throughput, keeping the target utilization exact
+at any frequency — just like a spin loop on real hardware.
+"""
+
+from __future__ import annotations
+
+from repro.platform.coretypes import CoreSpec
+from repro.platform.perfmodel import COMPUTE_BOUND, WorkClass, throughput_units_per_sec
+from repro.sim.engine import Simulator
+from repro.sim.task import Task, TaskContext, SleepUntil, Work
+
+
+class UtilizationMicrobenchmark:
+    """A spin/sleep loop pinned to a target duty cycle."""
+
+    def __init__(
+        self,
+        utilization: float,
+        period_ms: float = 100.0,
+        work_class: WorkClass = COMPUTE_BOUND,
+    ):
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        if period_ms <= 0:
+            raise ValueError(f"period_ms must be positive, got {period_ms}")
+        self.utilization = utilization
+        self.period_ms = period_ms
+        self.work_class = work_class
+
+    def install(self, sim: Simulator, core_spec: CoreSpec, freq_khz: int) -> Task:
+        """Spawn the loop calibrated for ``core_spec`` at ``freq_khz``.
+
+        The spin amount per period is precomputed from the target core's
+        throughput so the busy fraction equals ``utilization`` exactly
+        when the task runs there (experiments pin frequency and use a
+        single-core-type configuration, matching the paper's setup).
+        """
+        period_s = self.period_ms / 1000.0
+        tput = throughput_units_per_sec(core_spec, freq_khz, self.work_class)
+        spin_units = self.utilization * period_s * tput
+
+        def behavior(ctx: TaskContext):
+            next_period = ctx.now_s
+            while True:
+                if spin_units > 0:
+                    yield Work(spin_units)
+                next_period += period_s
+                if ctx.now_s < next_period:
+                    yield SleepUntil(next_period)
+
+        # Seed the load so the HMP scheduler's initial placement matches
+        # the steady state (irrelevant for the pinned-core experiments).
+        task = Task("microbench", behavior, self.work_class,
+                    initial_load=self.utilization * 1024.0)
+        sim.spawn(task)
+        return task

@@ -1,0 +1,389 @@
+"""Models of the paper's 12 mobile applications (Table II).
+
+Each app is assembled from the generic thread shapes in
+:mod:`repro.workloads.base` with parameters calibrated so that, when run
+under the default HMP scheduler and interactive governor, the measured
+TLP / idle / big-core-usage shape matches the paper's Tables III and IV:
+
+=====================  =======  ======  ======  =====
+app                    metric   idle%   big%    TLP
+=====================  =======  ======  ======  =====
+PDF Reader             latency  16.1    13.0    2.06
+Video Editor           latency  19.4    10.4    2.25
+Photo Editor           latency   9.1     7.5    1.40
+BBench                 latency   0.1    47.8    3.95
+Virus Scanner          latency   2.9    22.7    2.44
+Browser                latency  52.9     5.4    1.86
+Encoder                latency   0.6    62.2    1.78
+Angry Bird             fps       4.4     0.1    2.34
+Eternity Warriors 2    fps       3.7    27.4    2.85
+FIFA 15                fps       9.3    14.4    2.37
+Video Player           fps      14.2     0.6    2.29
+Youtube                fps      12.7     0.1    2.29
+=====================  =======  ======  ======  =====
+
+CPU work amounts are in work units = seconds of little-core@1.3GHz time.
+Bursts must exceed ~50-80 ms of continuous little-core-saturating work
+before the HMP load average crosses the 700 up-threshold (after the
+governor has ramped the little cluster), which is exactly the paper's
+observation that only substantial bursts reach big cores.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.platform.perfmodel import WorkClass
+from repro.sim.engine import Simulator
+from repro.workloads.base import (
+    ActionSpec,
+    App,
+    BackgroundSpec,
+    FramePipelineSpec,
+    Metric,
+    PeriodicSpec,
+)
+
+# ---------------------------------------------------------------------------
+# Microarchitectural work classes for mobile code
+# ---------------------------------------------------------------------------
+
+#: UI / app logic: branchy interpreted-ish code, poor ILP, small footprint.
+UI_WORK = WorkClass("mobile-ui", compute_fraction=0.85, wss_kb=192, ilp=0.45)
+
+#: Rendering / layout: moderate ILP, medium footprint.
+RENDER_WORK = WorkClass("mobile-render", compute_fraction=0.80, wss_kb=384, ilp=0.60)
+
+#: Web engine (parse/JS/layout): cache-hungry, moderate ILP.
+WEB_WORK = WorkClass("web", compute_fraction=0.72, wss_kb=900, ilp=0.55)
+
+#: Media codecs (software paths): vectorized, good ILP, streaming.
+MEDIA_WORK = WorkClass("media", compute_fraction=0.90, wss_kb=128, ilp=0.70,
+                       activity_factor=1.1)
+
+#: Game engine: mixed logic+math, decent ILP.
+GAME_WORK = WorkClass("game", compute_fraction=0.85, wss_kb=512, ilp=0.60)
+
+#: File scanning / hashing: streaming with large footprint.
+SCAN_WORK = WorkClass("scan", compute_fraction=0.65, wss_kb=1024, ilp=0.55)
+
+
+# ---------------------------------------------------------------------------
+# Latency-oriented apps
+# ---------------------------------------------------------------------------
+
+
+class PdfReader(App):
+    """Open a PDF and read through it (open burst + repeated page renders)."""
+
+    def __init__(self) -> None:
+        super().__init__("pdf-reader", Metric.LATENCY, UI_WORK,
+                         ambient_ui_duty=0.72, ambient_bg_interval_ms=50)
+
+    def build(self, sim: Simulator) -> None:
+        actions = [ActionSpec("open", main_units=0.15, worker_units=0.035,
+                              io_ms=90, rounds=1, think_ms=500)]
+        actions += [
+            ActionSpec(f"page-{i}", main_units=0.19, worker_units=0.030,
+                       io_ms=25, rounds=1, think_ms=340)
+            for i in range(12)
+        ]
+        self.add_driver(sim, actions, n_workers=3, work_class=RENDER_WORK)
+        self.add_background(sim, BackgroundSpec("services", mean_interval_ms=80,
+                                                units_mean=0.0015))
+
+
+class VideoEditor(App):
+    """Edit a video: load, apply effects, export (bursty, moderately parallel)."""
+
+    def __init__(self) -> None:
+        super().__init__("video-editor", Metric.LATENCY, UI_WORK,
+                         ambient_ui_duty=0.7, ambient_bg_interval_ms=70)
+
+    def build(self, sim: Simulator) -> None:
+        actions = [ActionSpec("load", main_units=0.09, worker_units=0.030,
+                              io_ms=120, rounds=1, think_ms=700)]
+        actions += [
+            ActionSpec(f"effect-{i}", main_units=0.07, worker_units=0.045,
+                       io_ms=30, rounds=2, think_ms=700)
+            for i in range(6)
+        ]
+        actions.append(ActionSpec("export", main_units=0.20, worker_units=0.06,
+                                  io_ms=60, rounds=3, think_ms=300))
+        self.add_driver(sim, actions, n_workers=3, work_class=MEDIA_WORK)
+        self.add_background(sim, BackgroundSpec("services", mean_interval_ms=90,
+                                                units_mean=0.0015))
+
+
+class PhotoEditor(App):
+    """Edit a photo: dominated by a single thread with small helpers (TLP 1.4)."""
+
+    def __init__(self) -> None:
+        super().__init__("photo-editor", Metric.LATENCY, UI_WORK,
+                         ambient_ui_duty=0.32, ambient_bg_interval_ms=110)
+
+    def build(self, sim: Simulator) -> None:
+        actions = [ActionSpec("load", main_units=0.08, worker_units=0.0,
+                              io_ms=70, rounds=1, think_ms=420)]
+        actions += [
+            ActionSpec(f"filter-{i}", main_units=0.17, worker_units=0.0,
+                       io_ms=10, rounds=1, think_ms=450)
+            for i in range(8)
+        ]
+        actions.append(ActionSpec("save", main_units=0.09, worker_units=0.0,
+                                  io_ms=60, rounds=1, think_ms=200))
+        self.add_driver(sim, actions, n_workers=0, work_class=RENDER_WORK)
+        # Continuous low-rate preview refresh keeps one little core lightly
+        # busy (the paper's dominant L1+B0 state at min frequency).
+        self.add_periodic(sim, PeriodicSpec("preview", period_ms=20,
+                                            units_mean=0.0035, duty_prob=1.0))
+        self.add_background(sim, BackgroundSpec("services", mean_interval_ms=120,
+                                                units_mean=0.0012))
+
+
+class BBench(App):
+    """BBench web-page-load benchmark: back-to-back page loads, high TLP."""
+
+    def __init__(self) -> None:
+        super().__init__("bbench", Metric.LATENCY, WEB_WORK,
+                         ambient_ui_duty=0.55, ambient_bg_interval_ms=50)
+
+    def build(self, sim: Simulator) -> None:
+        actions = [
+            ActionSpec(f"page-{i}", main_units=0.22, worker_units=0.20,
+                       io_ms=90, rounds=2, think_ms=45)
+            for i in range(14)
+        ]
+        self.add_driver(sim, actions, n_workers=4, work_class=WEB_WORK)
+        self.add_periodic(sim, PeriodicSpec("compositor", period_ms=16.7,
+                                            units_mean=0.002, duty_prob=0.5))
+        self.add_background(sim, BackgroundSpec("network", mean_interval_ms=35,
+                                                units_mean=0.003))
+
+
+class VirusScanner(App):
+    """Scan applications and storage: a long, sustained scan pipeline."""
+
+    def __init__(self) -> None:
+        super().__init__("virus-scanner", Metric.LATENCY, SCAN_WORK,
+                         ambient_ui_duty=0.25, ambient_bg_interval_ms=110)
+
+    def build(self, sim: Simulator) -> None:
+        actions = [
+            ActionSpec(f"scan-batch-{i}", main_units=0.050, worker_units=0.034,
+                       io_ms=16, rounds=2, think_ms=30)
+            for i in range(40)
+        ]
+        self.add_driver(sim, actions, n_workers=1, work_class=SCAN_WORK)
+        self.add_periodic(sim, PeriodicSpec("progress-ui", period_ms=90,
+                                            units_mean=0.0018))
+        self.add_background(sim, BackgroundSpec("io-completion", mean_interval_ms=60,
+                                                units_mean=0.002))
+
+
+class Browser(App):
+    """Visit a site and read: one load burst, then long idle reading."""
+
+    def __init__(self) -> None:
+        super().__init__("browser", Metric.LATENCY, WEB_WORK,
+                         ambient_ui_duty=0.28, ambient_bg_interval_ms=220)
+
+    def build(self, sim: Simulator) -> None:
+        actions = []
+        for i in range(4):
+            actions.append(ActionSpec(f"navigate-{i}", main_units=0.15,
+                                      worker_units=0.06, io_ms=80, rounds=1,
+                                      think_ms=2800))
+            actions.append(ActionSpec(f"scroll-{i}", main_units=0.025,
+                                      worker_units=0.010, io_ms=5, rounds=1,
+                                      think_ms=2300))
+        self.add_driver(sim, actions, n_workers=3, work_class=WEB_WORK)
+        self.add_background(sim, BackgroundSpec("services", mean_interval_ms=300,
+                                                units_mean=0.0015))
+
+
+class Encoder(App):
+    """Encode a file: one thread saturates a core for the whole run."""
+
+    def __init__(self) -> None:
+        super().__init__("encoder", Metric.LATENCY, MEDIA_WORK,
+                         ambient_ui_duty=0.18, ambient_bg_interval_ms=180)
+
+    def build(self, sim: Simulator) -> None:
+        actions = [
+            ActionSpec(f"chunk-{i}", main_units=0.16, worker_units=0.0,
+                       io_ms=10, rounds=1, think_ms=0)
+            for i in range(80)
+        ]
+        self.add_driver(sim, actions, n_workers=0, work_class=MEDIA_WORK)
+        self.add_periodic(sim, PeriodicSpec("muxer", period_ms=70,
+                                            units_mean=0.004, work_class=MEDIA_WORK,
+                                            duty_prob=1.0))
+        self.add_background(sim, BackgroundSpec("io", mean_interval_ms=150,
+                                                units_mean=0.0015))
+
+
+# ---------------------------------------------------------------------------
+# FPS-oriented apps
+# ---------------------------------------------------------------------------
+
+
+class AngryBird(App):
+    """2D physics game: steady moderate load spread across little cores."""
+
+    def __init__(self) -> None:
+        super().__init__("angry-bird", Metric.FPS, GAME_WORK,
+                         ambient_ui_duty=0.0, ambient_bg_interval_ms=200)
+
+    def build(self, sim: Simulator) -> None:
+        self.add_frame_pipeline(sim, FramePipelineSpec(
+            logic_units=0.0030, render_units=0.0032, units_sigma=0.20,
+            stall_prob=0.025, stall_ms_mean=50))
+        self.add_periodic(sim, PeriodicSpec("physics", period_ms=16.7,
+                                            units_mean=0.0022, units_sigma=0.25,
+                                            duty_prob=0.8))
+        self.add_periodic(sim, PeriodicSpec("audio", period_ms=20,
+                                            units_mean=0.0015))
+        self.add_background(sim, BackgroundSpec("input", mean_interval_ms=150,
+                                                units_mean=0.001))
+
+
+class EternityWarriors2(App):
+    """3D action RPG: the most CPU-hungry game; render bursts reach big cores."""
+
+    def __init__(self) -> None:
+        super().__init__("eternity-warrior-2", Metric.FPS, GAME_WORK,
+                         ambient_ui_duty=0.0, ambient_bg_interval_ms=200)
+
+    def build(self, sim: Simulator) -> None:
+        self.add_frame_pipeline(sim, FramePipelineSpec(
+            logic_units=0.0045, render_units=0.0095, units_sigma=0.40,
+            heavy_factor=2.1, heavy_prob=0.50, phase_mean_s=1.2,
+            stall_prob=0.008, stall_ms_mean=40))
+        self.add_periodic(sim, PeriodicSpec("physics-ai", period_ms=16.7,
+                                            units_mean=0.0035, units_sigma=0.4,
+                                            duty_prob=0.5))
+        self.add_periodic(sim, PeriodicSpec("audio", period_ms=20,
+                                            units_mean=0.0018))
+        self.add_background(sim, BackgroundSpec("streaming", mean_interval_ms=200,
+                                                units_mean=0.006))
+
+
+class Fifa15(App):
+    """3D sports game: between Angry Bird and Eternity Warriors in load."""
+
+    def __init__(self) -> None:
+        super().__init__("fifa-15", Metric.FPS, GAME_WORK,
+                         ambient_ui_duty=0.0, ambient_bg_interval_ms=300)
+
+    def build(self, sim: Simulator) -> None:
+        self.add_frame_pipeline(sim, FramePipelineSpec(
+            logic_units=0.0042, render_units=0.0072, units_sigma=0.35,
+            heavy_factor=1.70, heavy_prob=0.40, phase_mean_s=1.2,
+            stall_prob=0.02, stall_ms_mean=55))
+        self.add_periodic(sim, PeriodicSpec("ai", period_ms=33,
+                                            units_mean=0.0030, units_sigma=0.35,
+                                            duty_prob=0.4))
+        self.add_periodic(sim, PeriodicSpec("audio", period_ms=20,
+                                            units_mean=0.0016))
+        self.add_background(sim, BackgroundSpec("services", mean_interval_ms=400,
+                                                units_mean=0.002))
+
+
+class VideoPlayer(App):
+    """Play a local video: decoding is offloaded to hardware, so the CPU
+    only shepherds buffers — nearly all work fits little cores at low
+    frequency (the paper's motivating example for a "tiny" core)."""
+
+    def __init__(self) -> None:
+        super().__init__("video-player", Metric.FPS, MEDIA_WORK,
+                         ambient_ui_duty=0.0, ambient_bg_interval_ms=600)
+
+    def build(self, sim: Simulator) -> None:
+        self.add_frame_pipeline(sim, FramePipelineSpec(
+            logic_units=0.0016, render_units=0.0015, units_sigma=0.2, fps=30,
+            helpers=2, helper_units=0.0009))
+        # Audio aligned to the frame cadence so its work lands in the
+        # same sampling windows as frame delivery.
+        self.add_periodic(sim, PeriodicSpec("audio", period_ms=33.4,
+                                            units_mean=0.0026))
+        # The HW decoder interrupt path delivers batches ~3 frames at a
+        # time; whole periods go quiet when the buffer is ahead.
+        self.add_periodic(sim, PeriodicSpec("decoder-shepherd", period_ms=50,
+                                            units_mean=0.0036, duty_prob=0.75))
+        self.add_background(sim, BackgroundSpec("io", mean_interval_ms=600,
+                                                units_mean=0.002))
+
+
+class Youtube(App):
+    """Stream a video: like VideoPlayer plus periodic network buffering."""
+
+    def __init__(self) -> None:
+        super().__init__("youtube", Metric.FPS, MEDIA_WORK,
+                         ambient_ui_duty=0.0, ambient_bg_interval_ms=600)
+
+    def build(self, sim: Simulator) -> None:
+        self.add_frame_pipeline(sim, FramePipelineSpec(
+            logic_units=0.0016, render_units=0.0015, units_sigma=0.2, fps=30,
+            helpers=2, helper_units=0.0009))
+        self.add_periodic(sim, PeriodicSpec("audio", period_ms=33.4,
+                                            units_mean=0.0026))
+        self.add_periodic(sim, PeriodicSpec("decoder-shepherd", period_ms=50,
+                                            units_mean=0.0034, duty_prob=0.85))
+        self.add_periodic(sim, PeriodicSpec("network-buffer", period_ms=400,
+                                            units_mean=0.010, units_sigma=0.4,
+                                            work_class=UI_WORK))
+        self.add_background(sim, BackgroundSpec("ui", mean_interval_ms=500,
+                                                units_mean=0.0015))
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_APP_FACTORIES: dict[str, Callable[[], App]] = {
+    "pdf-reader": PdfReader,
+    "video-editor": VideoEditor,
+    "photo-editor": PhotoEditor,
+    "bbench": BBench,
+    "virus-scanner": VirusScanner,
+    "browser": Browser,
+    "encoder": Encoder,
+    "angry-bird": AngryBird,
+    "eternity-warrior-2": EternityWarriors2,
+    "fifa-15": Fifa15,
+    "video-player": VideoPlayer,
+    "youtube": Youtube,
+}
+
+MOBILE_APP_NAMES: list[str] = list(_APP_FACTORIES)
+
+LATENCY_APP_NAMES: list[str] = [
+    "pdf-reader", "video-editor", "photo-editor", "bbench",
+    "virus-scanner", "browser", "encoder",
+]
+
+FPS_APP_NAMES: list[str] = [
+    "angry-bird", "eternity-warrior-2", "fifa-15", "video-player", "youtube",
+]
+
+
+def make_app(name: str) -> App:
+    """Instantiate a Table II application — or an extended-suite one.
+
+    The 12 paper apps resolve first; names from
+    :mod:`repro.workloads.extended` (camera, maps, social-feed,
+    voice-call) resolve as a fallback so the whole toolkit accepts
+    either suite.
+    """
+    factory = _APP_FACTORIES.get(name)
+    if factory is not None:
+        return factory()
+    from repro.workloads.extended import EXTENDED_APP_NAMES, make_extended_app
+
+    if name in EXTENDED_APP_NAMES:
+        return make_extended_app(name)
+    raise KeyError(
+        f"unknown app {name!r}; available: "
+        f"{', '.join(MOBILE_APP_NAMES + EXTENDED_APP_NAMES)}"
+    )

@@ -1,0 +1,110 @@
+"""Trace-replay workloads: drive the platform from a recorded load series.
+
+Characterization studies often start from recorded per-thread CPU-load
+traces (e.g. exported from ``systrace``/``perfetto``) rather than from
+an app model.  :class:`LoadTraceApp` replays such series through the
+simulator: each thread is given a per-interval utilization sequence and
+generates exactly that much work per interval, letting the HMP
+scheduler, governor, and analysis pipeline run on real recorded shapes.
+
+A load trace is a list of (interval_s, utilization) segments per
+thread, where utilization is relative to a little core at maximum
+frequency (the load-tracking reference)::
+
+    threads = {
+        "render": [(0.5, 0.2), (1.0, 0.9), (2.0, 0.1)],
+        "worker": [(3.5, 0.3)],
+    }
+    app = LoadTraceApp("recorded", threads)
+"""
+
+from __future__ import annotations
+
+from repro.platform.perfmodel import COMPUTE_BOUND, WorkClass
+from repro.sim.engine import Simulator
+from repro.sim.task import SleepUntil, Task, TaskContext, WaitSignal, Work
+from repro.workloads.base import App, Metric
+
+#: Replay granularity: work is emitted in slices this long so the
+#: scheduler and governor see a continuous load, not one giant burst.
+SLICE_S = 0.010
+
+Segment = tuple[float, float]  # (duration_s, utilization)
+
+
+def validate_segments(segments: list[Segment]) -> None:
+    if not segments:
+        raise ValueError("a replay thread needs at least one segment")
+    for duration, util in segments:
+        if duration <= 0:
+            raise ValueError(f"segment duration must be positive, got {duration}")
+        if not 0.0 <= util <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1], got {util}")
+
+
+class LoadTraceApp(App):
+    """Replays recorded per-thread utilization series."""
+
+    def __init__(
+        self,
+        name: str,
+        threads: dict[str, list[Segment]],
+        work_class: WorkClass = COMPUTE_BOUND,
+        stop_when_done: bool = True,
+    ):
+        super().__init__(name, Metric.LATENCY, work_class,
+                         ambient_ui_duty=0.0, ambient_bg_interval_ms=0.0)
+        if not threads:
+            raise ValueError("at least one thread trace is required")
+        for segments in threads.values():
+            validate_segments(segments)
+        self.threads = dict(threads)
+        self.stop_when_done = stop_when_done
+
+    def total_duration_s(self) -> float:
+        """Length of the longest thread trace."""
+        return max(sum(d for d, _ in segs) for segs in self.threads.values())
+
+    def total_work_units(self) -> float:
+        """Work implied by the whole trace (for sanity checks)."""
+        return sum(
+            d * u for segs in self.threads.values() for d, u in segs
+        )
+
+    def latency_s(self) -> float:
+        """Replay 'latency' is the makespan recorded by the driver."""
+        return sum(end - start for _, start, end in self.logs.actions)
+
+    def build(self, sim: Simulator) -> None:
+        done = sim.channel(f"{self.name}/replay-done")
+        n_threads = len(self.threads)
+
+        for thread_name, segments in self.threads.items():
+            def behavior(ctx: TaskContext, segments=segments):
+                start = ctx.now_s
+                elapsed = 0.0
+                for duration, util in segments:
+                    segment_end = elapsed + duration
+                    while elapsed < segment_end - 1e-9:
+                        slice_s = min(SLICE_S, segment_end - elapsed)
+                        if util > 0:
+                            # Utilization is relative to the reference
+                            # capacity (little @ max): units = time * util.
+                            yield Work(util * slice_s)
+                        elapsed += slice_s
+                        target = start + elapsed
+                        if ctx.now_s < target:
+                            yield SleepUntil(target)
+                done.post()
+
+            sim.spawn(Task(f"{self.name}/{thread_name}", behavior,
+                           self.default_work_class))
+
+        def driver(ctx: TaskContext):
+            begin = ctx.now_s
+            yield WaitSignal(done, count=n_threads)
+            self.logs.actions.append(("replay", begin, ctx.now_s))
+            if self.stop_when_done:
+                ctx.request_stop()
+
+        sim.spawn(Task(f"{self.name}/driver", driver, self.default_work_class))

@@ -1,0 +1,100 @@
+"""Multitasking scenarios: a foreground app plus background services.
+
+The paper observes that "mobile applications have a limited screen
+interface, which further restricts the number of simultaneously active
+applications" — TLP stays low partly because only one app is in front.
+These scenarios quantify the other direction: what concurrent
+background work (music, downloads) does to TLP, core usage, and power.
+
+A :class:`Scenario` installs one of the Table II apps *plus* background
+service apps into the same simulation; the foreground app's metric is
+still the scenario's performance measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.platform.perfmodel import WorkClass
+from repro.sim.engine import Simulator
+from repro.workloads.base import App, BackgroundSpec, Metric, PeriodicSpec
+from repro.workloads.mobile import make_app
+
+#: Software audio decode + mixing (no display work).
+MUSIC_WORK = WorkClass("music", compute_fraction=0.9, wss_kb=96, ilp=0.7)
+
+#: Network + flash write path of a background download.
+DOWNLOAD_WORK = WorkClass("download", compute_fraction=0.7, wss_kb=512, ilp=0.5)
+
+
+class BackgroundMusic(App):
+    """Music playback service: decode chunks + 20 ms audio mixing."""
+
+    def __init__(self) -> None:
+        super().__init__("bg-music", Metric.FPS, MUSIC_WORK,
+                         ambient_ui_duty=0.0, ambient_bg_interval_ms=0.0)
+
+    def build(self, sim: Simulator) -> None:
+        # Decoder wakes every ~200 ms to decode a buffer's worth.
+        self.add_periodic(sim, PeriodicSpec("decoder", period_ms=200,
+                                            units_mean=0.012, units_sigma=0.25))
+        self.add_periodic(sim, PeriodicSpec("mixer", period_ms=20,
+                                            units_mean=0.0012))
+
+
+class BackgroundDownload(App):
+    """A large download: periodic network drain + flash write bursts."""
+
+    def __init__(self) -> None:
+        super().__init__("bg-download", Metric.FPS, DOWNLOAD_WORK,
+                         ambient_ui_duty=0.0, ambient_bg_interval_ms=0.0)
+
+    def build(self, sim: Simulator) -> None:
+        self.add_periodic(sim, PeriodicSpec("socket-drain", period_ms=50,
+                                            units_mean=0.004, units_sigma=0.3))
+        self.add_background(sim, BackgroundSpec("flash-write",
+                                                mean_interval_ms=300,
+                                                units_mean=0.015, units_sigma=0.4))
+
+
+_BACKGROUND_FACTORIES = {
+    "music": BackgroundMusic,
+    "download": BackgroundDownload,
+}
+
+
+@dataclass
+class Scenario:
+    """A foreground app plus named background services."""
+
+    name: str
+    foreground: str
+    background: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        unknown = [b for b in self.background if b not in _BACKGROUND_FACTORIES]
+        if unknown:
+            raise ValueError(
+                f"unknown background services {unknown}; "
+                f"available: {sorted(_BACKGROUND_FACTORIES)}"
+            )
+
+    def install(self, sim: Simulator) -> App:
+        """Install all apps; returns the foreground app (the metric source)."""
+        foreground = make_app(self.foreground)
+        foreground.install(sim)
+        for service in self.background:
+            _BACKGROUND_FACTORIES[service]().install(sim)
+        return foreground
+
+
+#: Ready-made scenarios for the multitasking study.
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in [
+        Scenario("browse-with-music", "browser", ["music"]),
+        Scenario("game-with-download", "eternity-warrior-2", ["download"]),
+        Scenario("video-with-download", "video-player", ["download"]),
+        Scenario("bbench-loaded", "bbench", ["music", "download"]),
+    ]
+}

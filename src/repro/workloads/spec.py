@@ -1,0 +1,83 @@
+"""SPEC-CPU2006-like single-threaded CPU-bound kernels.
+
+The paper uses SPECCPU2006 to expose the *architectural* difference
+between big and little cores (Section III.A): at equal frequency a big
+core is always faster, by up to ~4.5x for cache-sensitive applications
+whose working set fits the big cluster's 2 MB L2 but thrashes the little
+cluster's 512 KB L2, and a few low-ILP applications are slower on a big
+core at its minimum 0.8 GHz than on a little core at 1.3 GHz.
+
+We model twelve synthetic kernels spanning that space: each is a
+single thread that computes continuously for a fixed amount of work.
+The names echo representative SPEC workloads with roughly matching
+characters (e.g. ``mcf``-like is memory-bound and cache-hungry,
+``perlbench``-like is branchy with low ILP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.perfmodel import WorkClass
+from repro.sim.engine import Simulator
+from repro.sim.task import Task, TaskContext, Work
+
+
+@dataclass(frozen=True)
+class SpecBenchmark:
+    """One single-threaded CPU-bound kernel."""
+
+    name: str
+    work_class: WorkClass
+    total_units: float = 6.0
+
+    def install(self, sim: Simulator, stop_on_finish: bool = True) -> Task:
+        """Spawn the kernel.
+
+        With ``stop_on_finish`` (the default single-kernel setup) the
+        simulation ends when this kernel completes; multi-kernel runs
+        pass False and rely on the engine stopping once every task has
+        finished.
+        """
+
+        def behavior(ctx: TaskContext):
+            yield Work(self.total_units)
+            if stop_on_finish:
+                ctx.request_stop()
+
+        task = Task(f"spec/{self.name}", behavior, self.work_class,
+                    initial_load=1024.0)
+        sim.spawn(task)
+        return task
+
+
+def _wc(name: str, compute: float, wss_kb: float, ilp: float,
+        activity: float = 1.0) -> WorkClass:
+    return WorkClass(name=name, compute_fraction=compute, wss_kb=wss_kb,
+                     ilp=ilp, activity_factor=activity)
+
+
+#: Twelve kernels spanning compute-bound .. cache-thrashing, low .. high ILP.
+SPEC_BENCHMARKS: list[SpecBenchmark] = [
+    SpecBenchmark("perlbench", _wc("perlbench", 0.97, 300, 0.25, 0.95)),
+    SpecBenchmark("bzip2", _wc("bzip2", 0.85, 700, 0.55, 1.00)),
+    SpecBenchmark("gcc", _wc("gcc", 0.80, 1400, 0.50, 0.95)),
+    SpecBenchmark("mcf", _wc("mcf", 0.25, 1900, 0.65, 0.90)),
+    SpecBenchmark("gobmk", _wc("gobmk", 0.95, 250, 0.35, 0.95)),
+    SpecBenchmark("hmmer", _wc("hmmer", 0.98, 120, 0.95, 1.10)),
+    SpecBenchmark("sjeng", _wc("sjeng", 0.96, 180, 0.40, 0.95)),
+    SpecBenchmark("libquantum", _wc("libquantum", 0.45, 1600, 0.80, 1.05)),
+    SpecBenchmark("h264ref", _wc("h264ref", 0.92, 400, 0.90, 1.10)),
+    SpecBenchmark("omnetpp", _wc("omnetpp", 0.55, 1700, 0.45, 0.90)),
+    SpecBenchmark("astar", _wc("astar", 0.75, 1100, 0.50, 0.95)),
+    SpecBenchmark("xalancbmk", _wc("xalancbmk", 0.60, 1500, 0.55, 0.95)),
+]
+
+SPEC_NAMES: list[str] = [b.name for b in SPEC_BENCHMARKS]
+
+
+def spec_benchmark(name: str) -> SpecBenchmark:
+    for bench in SPEC_BENCHMARKS:
+        if bench.name == name:
+            return bench
+    raise KeyError(f"unknown SPEC kernel {name!r}; available: {', '.join(SPEC_NAMES)}")

@@ -1,0 +1,62 @@
+"""The paper's Table III values — the calibration targets for the 12 apps.
+
+The mobile app models in :mod:`repro.workloads.mobile` are calibrated so
+that, under the default scheduler/governor, the measured TLP statistics
+match these rows in *shape*.  :func:`check_calibration` recomputes the
+statistics and reports per-app deviations; the test suite asserts the
+qualitative orderings and the benchmark prints the full comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tlp import TLPStats
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One paper Table III row: idle %, little %, big %, TLP."""
+
+    idle_pct: float
+    little_pct: float
+    big_pct: float
+    tlp: float
+
+
+#: Paper Table III, transcribed.
+PAPER_TABLE3: dict[str, Table3Row] = {
+    "pdf-reader": Table3Row(16.14, 86.94, 13.05, 2.06),
+    "video-editor": Table3Row(19.44, 89.55, 10.44, 2.25),
+    "photo-editor": Table3Row(9.06, 92.49, 7.50, 1.40),
+    "bbench": Table3Row(0.10, 52.16, 47.83, 3.95),
+    "virus-scanner": Table3Row(2.93, 77.25, 22.74, 2.44),
+    "browser": Table3Row(52.94, 94.58, 5.41, 1.86),
+    "encoder": Table3Row(0.55, 37.80, 62.19, 1.78),
+    "angry-bird": Table3Row(4.41, 99.88, 0.11, 2.34),
+    "eternity-warrior-2": Table3Row(3.65, 72.64, 27.35, 2.85),
+    "fifa-15": Table3Row(9.27, 85.62, 14.37, 2.37),
+    "video-player": Table3Row(14.22, 99.38, 0.61, 2.29),
+    "youtube": Table3Row(12.72, 99.92, 0.07, 2.29),
+}
+
+
+@dataclass(frozen=True)
+class CalibrationDeviation:
+    """Absolute deviations of one app's measured stats from the paper."""
+
+    app: str
+    idle_delta: float
+    big_delta: float
+    tlp_delta: float
+
+
+def deviation(app: str, measured: TLPStats) -> CalibrationDeviation:
+    """Absolute deviation of ``measured`` from the paper's row."""
+    target = PAPER_TABLE3[app]
+    return CalibrationDeviation(
+        app=app,
+        idle_delta=abs(measured.idle_pct - target.idle_pct),
+        big_delta=abs(measured.big_active_pct - target.big_pct),
+        tlp_delta=abs(measured.tlp - target.tlp),
+    )

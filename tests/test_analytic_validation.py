@@ -1,0 +1,162 @@
+"""Analytic validation: simulator measurements vs closed-form expectations.
+
+These tests compute expected values from the model equations directly
+and require the simulated measurement to match — catching integration
+errors that behavioural tests would absorb into tolerances.
+"""
+
+import pytest
+
+from repro.platform.chip import CoreConfig, exynos5422
+from repro.platform.coretypes import CoreType, cortex_a7, cortex_a15
+from repro.platform.perfmodel import (
+    COMPUTE_BOUND,
+    WorkClass,
+    seconds_per_unit,
+)
+from repro.sched.load import decay_per_tick
+from repro.sched.params import baseline_config
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.task import Sleep, Task, Work
+from repro.experiments.common import fixed_governors, single_core_config
+
+
+def pinned_sim(core_type, freq_khz, max_seconds=30.0, seed=0):
+    chip = exynos5422()
+    return chip, Simulator(SimConfig(
+        chip=chip,
+        core_config=single_core_config(core_type),
+        scheduler=baseline_config(),
+        governors=fixed_governors(chip, little_khz=freq_khz, big_khz=freq_khz),
+        max_seconds=max_seconds,
+        seed=seed,
+    ))
+
+
+class TestExecutionTime:
+    @pytest.mark.parametrize("core_type,spec,freq", [
+        (CoreType.LITTLE, cortex_a7(), 700_000),
+        (CoreType.BIG, cortex_a15(), 1_400_000),
+    ])
+    def test_elapsed_matches_throughput_model(self, core_type, spec, freq):
+        work = WorkClass("w", compute_fraction=0.7, wss_kb=900, ilp=0.5)
+        units = 1.5
+        expected = units * seconds_per_unit(spec, freq, work)
+
+        _, sim = pinned_sim(core_type, freq)
+        done = []
+
+        def behavior(ctx):
+            yield Work(units)
+            done.append(ctx.now_s)
+            ctx.request_stop()
+
+        sim.spawn(Task("t", behavior, work))
+        sim.run()
+        assert done[0] == pytest.approx(expected, rel=0.01)
+
+    def test_two_tasks_double_elapsed(self):
+        """Processor sharing: two equal tasks take twice as long."""
+        _, sim = pinned_sim(CoreType.LITTLE, 1_300_000)
+        ends = []
+
+        def behavior(ctx):
+            yield Work(0.5)
+            ends.append(ctx.now_s)
+
+        sim.spawn(Task("a", behavior, COMPUTE_BOUND))
+        sim.spawn(Task("b", behavior, COMPUTE_BOUND))
+        # Force both onto the single little core (config has one core).
+        sim.run()
+        assert max(ends) == pytest.approx(1.0, rel=0.02)
+
+
+class TestPowerIntegration:
+    def test_full_load_power_matches_model(self):
+        chip, sim = pinned_sim(CoreType.LITTLE, 1_300_000, max_seconds=2.0)
+
+        def spin(ctx):
+            while True:
+                yield Work(1.0)
+
+        sim.spawn(Task("spin", spin, COMPUTE_BOUND, initial_load=1024.0))
+        trace = sim.run()
+        pm = chip.power_model
+        v = chip.little_cluster.opp_table.voltage_at(1_300_000)
+        expected_core = pm.core_power_mw(CoreType.LITTLE, 1_300_000, v, 1.0)
+        clusters = (pm.cluster_power_mw(CoreType.LITTLE, True)
+                    + pm.cluster_power_mw(CoreType.BIG, False))
+        expected = pm.params.base_mw + expected_core + clusters
+        assert trace.average_power_mw() == pytest.approx(expected, rel=0.01)
+
+    def test_duty_cycle_power_is_affine(self):
+        """P(duty) must be linear between idle and full-load endpoints,
+        modulo the deep-idle discount at low duty."""
+        chip = exynos5422()
+        chip.memory_contention_alpha = 0.0
+
+        def measure(duty):
+            from repro.workloads.micro import UtilizationMicrobenchmark
+            sim = Simulator(SimConfig(
+                chip=chip,
+                core_config=single_core_config(CoreType.LITTLE),
+                governors=fixed_governors(chip, little_khz=1_300_000),
+                max_seconds=2.0,
+            ))
+            UtilizationMicrobenchmark(duty, period_ms=20).install(
+                sim, chip.little_cluster.spec, 1_300_000
+            )
+            return sim.run().average_power_mw()
+
+        p25, p50, p75 = measure(0.25), measure(0.50), measure(0.75)
+        # Midpoint lies on the chord between the quartile points.
+        assert p50 == pytest.approx((p25 + p75) / 2, rel=0.02)
+
+
+class TestLoadConvergenceFormula:
+    def test_burst_load_matches_geometric_sum(self):
+        """After t ms of saturating execution from zero, the EWMA equals
+        1024 * (1 - d^t) exactly."""
+        chip, sim = pinned_sim(CoreType.LITTLE, 1_300_000, max_seconds=1.0)
+        loads = []
+
+        def burst(ctx):
+            yield Work(0.060)  # 60 ms at little max
+            loads.append(None)  # placeholder; read task.load below
+            ctx.request_stop()
+
+        task = Task("burst", burst, COMPUTE_BOUND)
+        sim.spawn(task)
+        sim.run()
+        d = decay_per_tick(32.0)
+        # The run took ~60 ticks of saturated execution.
+        expected = 1024.0 * (1 - d ** 60)
+        assert task.load.value == pytest.approx(expected, rel=0.05)
+
+
+class TestGovernorFixedPoint:
+    def test_steady_duty_settles_at_proportional_frequency(self):
+        """A constant 35% load at max capacity must settle where
+        utilization sits inside the governor's hold band."""
+        from repro.workloads.micro import UtilizationMicrobenchmark
+
+        chip = exynos5422()
+        sim = Simulator(SimConfig(
+            chip=chip,
+            core_config=CoreConfig(1, 0),
+            scheduler=baseline_config(),
+            max_seconds=6.0,
+        ))
+        UtilizationMicrobenchmark(0.35, period_ms=20).install(
+            sim, chip.little_cluster.spec, 1_300_000
+        )
+        trace = sim.run()
+        freq = trace.freq_khz(CoreType.LITTLE)[3000:]
+        busy = trace.busy[0, 3000:]
+        # At the settled frequency, utilization must lie in [down, target]
+        # on average — the governor's stationary condition.
+        window_util = busy.reshape(-1, 20).mean(axis=1)
+        settled_util = float(window_util.mean())
+        assert 0.3 <= settled_util <= 0.85
+        # And the frequency is stable (few distinct values).
+        assert len(set(freq.tolist())) <= 4

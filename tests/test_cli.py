@@ -1,0 +1,61 @@
+"""Tests for the ``biglittle`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses_seed(self):
+        args = build_parser().parse_args(["run", "table3", "--seed", "5"])
+        assert args.experiment == "table3"
+        assert args.seed == 5
+
+    def test_characterize_validates_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize", "not-an-app"])
+
+
+class TestCommands:
+    def test_list_prints_artifacts(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig13" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_characterize_runs(self, capsys):
+        assert main(["characterize", "video-player"]) == 0
+        out = capsys.readouterr().out
+        assert "TLP statistics" in out
+        assert "efficiency decomposition" in out
+
+    def test_profile_runs(self, capsys):
+        assert main(["profile", "video-player", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-task execution profile" in out
+        assert "video-player/" in out
+
+    def test_timeline_runs(self, capsys):
+        assert main(["timeline", "video-player", "--width", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "busy" in out and "span:" in out
+
+    def test_run_with_json_export(self, capsys, tmp_path):
+        path = str(tmp_path / "out.json")
+        assert main(["run", "fig6", "--json", path]) == 0
+        import json
+
+        with open(path) as f:
+            payload = json.load(f)
+        assert "power_mw" in payload

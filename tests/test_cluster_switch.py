@@ -1,0 +1,94 @@
+"""Tests for the first-generation cluster-switching scheduler."""
+
+import pytest
+
+from repro.platform.chip import CoreConfig
+from repro.platform.coretypes import CoreType
+from repro.platform.perfmodel import COMPUTE_BOUND
+from repro.sched.cluster_switch import ClusterSwitchingScheduler
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.task import Sleep, Task, TaskState, Work
+
+
+def make_sim(max_seconds=3.0, core_config=None, seed=0):
+    return Simulator(SimConfig(
+        max_seconds=max_seconds,
+        core_config=core_config,
+        scheduler_factory=ClusterSwitchingScheduler,
+        seed=seed,
+    ))
+
+
+def spin(ctx):
+    while True:
+        yield Work(1.0)
+
+
+def light(ctx):
+    while True:
+        yield Work(0.001)
+        yield Sleep(0.03)
+
+
+class TestClusterExclusivity:
+    def test_starts_on_little(self):
+        sim = make_sim()
+        assert sim.hmp.active_type is CoreType.LITTLE
+
+    def test_never_both_clusters_in_same_tick(self):
+        sim = make_sim(max_seconds=3.0)
+        sim.spawn(Task("spin", spin, COMPUTE_BOUND))
+        sim.spawn(Task("light", light, COMPUTE_BOUND))
+        trace = sim.run()
+        little = trace.busy[trace.cores_of_type(CoreType.LITTLE)].sum(axis=0)
+        big = trace.busy[trace.cores_of_type(CoreType.BIG)].sum(axis=0)
+        both = ((little > 0) & (big > 0)).mean()
+        # Switch ticks can straddle; concurrency must be incidental only.
+        assert both < 0.02
+
+    def test_heavy_load_switches_to_big(self):
+        sim = make_sim(max_seconds=3.0)
+        sim.spawn(Task("spin", spin, COMPUTE_BOUND))
+        trace = sim.run()
+        big = trace.busy[trace.cores_of_type(CoreType.BIG)]
+        assert big.sum() > 0
+        assert sim.hmp.switches >= 1
+
+    def test_light_load_stays_little(self):
+        sim = make_sim(max_seconds=3.0)
+        sim.spawn(Task("light", light, COMPUTE_BOUND))
+        trace = sim.run()
+        big = trace.busy[trace.cores_of_type(CoreType.BIG)]
+        assert big.sum() == 0
+        assert sim.hmp.switches == 0
+
+    def test_switches_back_when_load_drops(self):
+        sim = make_sim(max_seconds=6.0)
+
+        def burst_then_idle(ctx):
+            yield Work(2.0)
+            while True:
+                yield Work(0.0005)
+                yield Sleep(0.05)
+
+        sim.spawn(Task("burst", burst_then_idle, COMPUTE_BOUND))
+        sim.run()
+        assert sim.hmp.switches >= 2
+        assert sim.hmp.active_type is CoreType.LITTLE
+
+    def test_light_tasks_dragged_to_big_with_heavy(self):
+        """The old design's cost: helpers ride along on the big cluster."""
+        sim = make_sim(max_seconds=3.0)
+        sim.spawn(Task("spin", spin, COMPUTE_BOUND))
+        helper = Task("light", light, COMPUTE_BOUND)
+        sim.spawn(helper)
+        trace = sim.run()
+        # In steady state (big active) the helper must run on big cores.
+        big_rows = set(trace.cores_of_type(CoreType.BIG))
+        assert helper.core_id in big_rows or helper.last_core_id in big_rows
+
+    def test_single_cluster_config_degenerates_to_hmp(self):
+        sim = make_sim(core_config=CoreConfig(4, 0), max_seconds=1.0)
+        sim.spawn(Task("spin", spin, COMPUTE_BOUND))
+        trace = sim.run()
+        assert trace.busy[trace.cores_of_type(CoreType.BIG)].sum() == 0

@@ -1,0 +1,115 @@
+"""Tests for frequency residency and the Table V efficiency states."""
+
+import pytest
+
+from repro.core.efficiency import CATEGORY_NAMES, efficiency_breakdown
+from repro.core.residency import frequency_residency, residency_buckets
+from repro.platform.coretypes import CoreType
+from repro.sim.trace import Trace
+
+TYPES = [CoreType.LITTLE] * 2 + [CoreType.BIG] * 2
+ENABLED = [True] * 4
+
+LITTLE_MIN = 500_000
+BIG_MAX = 1_900_000
+
+
+def make_trace(rows):
+    """rows: list of (busy[4], little_khz, big_khz) per tick."""
+    trace = Trace(TYPES, ENABLED, max_ticks=len(rows))
+    for busy, lf, bf in rows:
+        trace.record(list(busy), lf, bf, 400.0)
+    trace.finalize()
+    return trace
+
+
+class TestResidency:
+    def test_counts_only_active_ticks(self):
+        rows = (
+            [([0.5, 0, 0, 0], 500_000, 800_000)] * 10
+            + [([0.0, 0, 0, 0], 1_300_000, 800_000)] * 10  # idle, ignored
+            + [([0.9, 0, 0, 0], 1_300_000, 800_000)] * 10
+        )
+        res = frequency_residency(make_trace(rows), CoreType.LITTLE)
+        assert res[500_000] == pytest.approx(50.0)
+        assert res[1_300_000] == pytest.approx(50.0)
+
+    def test_never_active_cluster_empty(self):
+        rows = [([0.5, 0, 0, 0], 500_000, 800_000)] * 5
+        assert frequency_residency(make_trace(rows), CoreType.BIG) == {}
+
+    def test_percentages_sum_to_100(self):
+        rows = [([0.2, 0, 0.1, 0], f, 1_000_000)
+                for f in (500_000, 600_000, 700_000, 500_000)]
+        res = frequency_residency(make_trace(rows), CoreType.LITTLE)
+        assert sum(res.values()) == pytest.approx(100.0)
+
+    def test_buckets_dense_expansion(self):
+        res = {500_000: 60.0, 700_000: 40.0}
+        assert residency_buckets(res, (500_000, 600_000, 700_000)) == [60.0, 0.0, 40.0]
+
+
+class TestEfficiency:
+    def window(self, busy, little_khz=LITTLE_MIN, big_khz=800_000, n=10):
+        return [(busy, little_khz, big_khz)] * n
+
+    def breakdown(self, rows):
+        return efficiency_breakdown(make_trace(rows), LITTLE_MIN, BIG_MAX)
+
+    def test_idle_at_min_freq_is_min_state(self):
+        b = self.breakdown(self.window([0, 0, 0, 0], little_khz=LITTLE_MIN))
+        assert b.min_pct == 100.0
+
+    def test_idle_at_raised_freq_is_under50(self):
+        b = self.breakdown(self.window([0, 0, 0, 0], little_khz=1_300_000))
+        assert b.under_50_pct == 100.0
+
+    def test_low_util_at_min_freq_is_min_state(self):
+        b = self.breakdown(self.window([0.3, 0, 0, 0], little_khz=LITTLE_MIN))
+        assert b.min_pct == 100.0
+
+    def test_low_util_at_higher_freq_is_under50(self):
+        b = self.breakdown(self.window([0.3, 0, 0, 0], little_khz=700_000))
+        assert b.under_50_pct == 100.0
+
+    def test_mid_bands(self):
+        assert self.breakdown(self.window([0.6, 0, 0, 0])).pct_50_70 == 100.0
+        assert self.breakdown(self.window([0.8, 0, 0, 0])).pct_70_95 == 100.0
+        assert self.breakdown(self.window([0.97, 0, 0, 0])).over_95_pct == 100.0
+
+    def test_full_requires_big_at_max(self):
+        saturated_big = self.window([0, 0, 1.0, 0], big_khz=BIG_MAX)
+        assert self.breakdown(saturated_big).full_pct == 100.0
+
+    def test_saturated_big_below_max_is_over95(self):
+        rows = self.window([0, 0, 1.0, 0], big_khz=1_300_000)
+        assert self.breakdown(rows).over_95_pct == 100.0
+
+    def test_saturated_little_is_over95_not_full(self):
+        rows = self.window([1.0, 0, 0, 0])
+        assert self.breakdown(rows).over_95_pct == 100.0
+
+    def test_partition_sums_to_100(self):
+        rows = (
+            self.window([0, 0, 0, 0])
+            + self.window([0.4, 0, 0, 0], little_khz=900_000)
+            + self.window([0.6, 0.2, 0, 0])
+            + self.window([0, 0, 0.85, 0])
+            + self.window([0, 0, 1.0, 0], big_khz=BIG_MAX)
+        )
+        b = self.breakdown(rows)
+        assert sum(b.as_row()) == pytest.approx(100.0)
+
+    def test_busiest_core_decides(self):
+        # Little at 30% and big at 97%: the interval is judged by the big.
+        rows = self.window([0.3, 0, 0.97, 0], big_khz=1_000_000)
+        assert self.breakdown(rows).over_95_pct == 100.0
+
+    def test_category_names_order(self):
+        assert CATEGORY_NAMES == ["min", "<50%", "50-70%", "70-95%", ">95%", "full"]
+
+    def test_empty_trace_is_all_min(self):
+        trace = Trace(TYPES, ENABLED, max_ticks=3)
+        trace.finalize()
+        b = efficiency_breakdown(trace, LITTLE_MIN, BIG_MAX)
+        assert b.min_pct == 100.0

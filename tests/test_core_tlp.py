@@ -1,0 +1,117 @@
+"""Tests for TLP statistics and the Table IV activity matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.tlp import tlp_stats
+from repro.core.tlp_matrix import tlp_matrix
+from repro.platform.coretypes import CoreType
+from repro.sim.trace import Trace
+
+TYPES = [CoreType.LITTLE] * 4 + [CoreType.BIG] * 4
+ENABLED = [True] * 8
+
+
+def trace_from_pattern(pattern: list[list[float]], ticks_per_window=10) -> Trace:
+    """Build a trace from per-window per-core activity levels."""
+    n_windows = len(pattern)
+    trace = Trace(TYPES, ENABLED, max_ticks=n_windows * ticks_per_window)
+    for window in pattern:
+        for _ in range(ticks_per_window):
+            trace.record(list(window), 500_000, 800_000, 400.0)
+    trace.finalize()
+    return trace
+
+
+IDLE = [0.0] * 8
+
+
+def active(*cores: int) -> list[float]:
+    row = [0.0] * 8
+    for c in cores:
+        row[c] = 0.5
+    return row
+
+
+class TestTLPStats:
+    def test_all_idle(self):
+        stats = tlp_stats(trace_from_pattern([IDLE, IDLE]))
+        assert stats.idle_pct == 100.0
+        assert stats.tlp == 0.0
+
+    def test_idle_percentage(self):
+        stats = tlp_stats(trace_from_pattern([IDLE, active(0), active(0), IDLE]))
+        assert stats.idle_pct == 50.0
+
+    def test_tlp_over_active_windows_only(self):
+        # Windows: idle, 1 core, 3 cores -> TLP = (1+3)/2 = 2.
+        stats = tlp_stats(trace_from_pattern([IDLE, active(0), active(0, 1, 2)]))
+        assert stats.tlp == pytest.approx(2.0)
+
+    def test_core_type_shares_weighted_by_count(self):
+        # One window: 2 little + 1 big active -> little 66.7%, big 33.3%.
+        stats = tlp_stats(trace_from_pattern([active(0, 1, 4)]))
+        assert stats.little_only_pct == pytest.approx(200.0 / 3)
+        assert stats.big_active_pct == pytest.approx(100.0 / 3)
+
+    def test_shares_sum_to_100(self):
+        stats = tlp_stats(trace_from_pattern(
+            [active(0), active(4, 5), active(1, 2, 6), IDLE]
+        ))
+        assert stats.little_only_pct + stats.big_active_pct == pytest.approx(100.0)
+
+    def test_empty_trace(self):
+        trace = Trace(TYPES, ENABLED, max_ticks=5)
+        trace.finalize()
+        stats = tlp_stats(trace)
+        assert stats.idle_pct == 100.0
+        assert stats.n_windows == 0
+
+    def test_as_row(self):
+        stats = tlp_stats(trace_from_pattern([active(0)]))
+        assert len(stats.as_row()) == 4
+
+
+class TestTLPMatrix:
+    def test_shape(self):
+        matrix = tlp_matrix(trace_from_pattern([IDLE]))
+        assert matrix.shape == (5, 5)
+
+    def test_idle_in_corner(self):
+        matrix = tlp_matrix(trace_from_pattern([IDLE, active(0)]))
+        assert matrix[0, 0] == pytest.approx(50.0)
+        assert matrix[0, 1] == pytest.approx(50.0)
+
+    def test_counts_by_type(self):
+        # 2 little + 1 big active -> cell [1][2].
+        matrix = tlp_matrix(trace_from_pattern([active(0, 1, 4)]))
+        assert matrix[1, 2] == pytest.approx(100.0)
+
+    def test_sums_to_100(self):
+        pattern = [IDLE, active(0), active(0, 4), active(1, 2, 5, 6), active(3)]
+        matrix = tlp_matrix(trace_from_pattern(pattern))
+        assert matrix.sum() == pytest.approx(100.0)
+
+    def test_consistency_with_tlp_stats(self):
+        """Table III must be derivable from Table IV (the paper property
+        we used to identify the metric definitions)."""
+        pattern = [IDLE, active(0), active(0, 1, 4), active(2, 4, 5), active(1)]
+        trace = trace_from_pattern(pattern)
+        stats = tlp_stats(trace)
+        matrix = tlp_matrix(trace)
+
+        idle = matrix[0, 0]
+        little_samples = sum(
+            l * matrix[b, l] for b in range(5) for l in range(5)
+        )
+        big_samples = sum(
+            b * matrix[b, l] for b in range(5) for l in range(5)
+        )
+        active_windows = 100.0 - idle
+        assert stats.idle_pct == pytest.approx(idle)
+        assert stats.tlp == pytest.approx(
+            (little_samples + big_samples) / active_windows
+        )
+        assert stats.little_only_pct == pytest.approx(
+            100.0 * little_samples / (little_samples + big_samples)
+        )

@@ -1,0 +1,88 @@
+"""Tests for the energy and interactivity analysis modules."""
+
+import pytest
+
+from repro.core.energy import compare_energy, energy_metrics
+from repro.core.interactivity import latency_distribution
+from repro.core.study import run_app
+from repro.platform.chip import CoreConfig
+from repro.workloads.base import AppLogs, Metric
+from repro.workloads.mobile import make_app
+
+
+@pytest.fixture(scope="module")
+def latency_run():
+    return run_app("photo-editor", seed=4)
+
+
+@pytest.fixture(scope="module")
+def fps_run():
+    return run_app("video-player", seed=4, max_seconds=4.0)
+
+
+class TestEnergyMetrics:
+    def test_latency_app_units_are_actions(self, latency_run):
+        m = energy_metrics(latency_run)
+        assert m.units == len(latency_run.app.logs.actions)
+        assert m.energy_per_unit_mj > 0
+        assert m.energy_delay_js > 0
+
+    def test_fps_app_units_are_frames(self, fps_run):
+        m = energy_metrics(fps_run)
+        assert m.units == len(fps_run.app.logs.frames)
+        assert m.units > 50
+        assert m.energy_delay_js == 0.0
+
+    def test_energy_consistency(self, fps_run):
+        m = energy_metrics(fps_run)
+        assert m.total_energy_mj == pytest.approx(fps_run.energy_mj())
+        assert m.average_power_mw == pytest.approx(fps_run.avg_power_mw(), rel=1e-6)
+
+    def test_compare_energy_directional(self):
+        base = run_app("video-player", seed=4, max_seconds=4.0)
+        small = run_app(
+            "video-player", seed=4, max_seconds=4.0, core_config=CoreConfig(2, 0)
+        )
+        # Fewer cores, same frames delivered: less energy per frame.
+        assert compare_energy(base, small) < 0.0
+
+    def test_compare_energy_zero_baseline(self, fps_run):
+        empty = run_app("video-player", seed=5, max_seconds=4.0)
+        empty.app.logs.frames.clear()
+        with pytest.raises(ZeroDivisionError):
+            compare_energy(empty, fps_run)
+
+
+class TestLatencyDistribution:
+    def test_distribution_fields(self, latency_run):
+        dist = latency_distribution(latency_run.app)
+        assert dist.count == len(latency_run.app.logs.actions)
+        assert dist.p50_s <= dist.p90_s <= dist.p99_s <= dist.worst_s
+        assert dist.mean_s > 0
+        assert dist.worst_action != "-"
+
+    def test_sum_matches_total_latency(self, latency_run):
+        dist = latency_distribution(latency_run.app)
+        assert dist.mean_s * dist.count == pytest.approx(
+            latency_run.latency_s(), rel=1e-6
+        )
+
+    def test_budget_classification(self, latency_run):
+        tight = latency_distribution(latency_run.app, budget_s=0.001)
+        loose = latency_distribution(latency_run.app, budget_s=100.0)
+        assert tight.over_budget == tight.count
+        assert loose.over_budget == 0
+
+    def test_rejects_fps_app(self, fps_run):
+        with pytest.raises(ValueError):
+            latency_distribution(fps_run.app)
+
+    def test_empty_log(self):
+        app = make_app("browser")
+        app.logs = AppLogs()
+        dist = latency_distribution(app)
+        assert dist.count == 0
+        assert dist.over_budget_pct == 0.0
+
+    def test_render(self, latency_run):
+        assert "p90" in latency_distribution(latency_run.app).render()

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are the library's front door; they must never rot.  Each
+runs in a subprocess with the repository's interpreter.  The
+grid-search example (`scheduler_tuning.py`) is the slowest and runs
+last; everything still finishes in about a minute total.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "video-player")
+        assert "TLP statistics" in out
+        assert "average FPS" in out
+
+    def test_quickstart_rejects_unknown_app(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py"), "solitaire"],
+            capture_output=True, text=True,
+        )
+        assert result.returncode != 0
+
+    def test_custom_app(self):
+        out = run_example("custom_app.py")
+        assert "navigation app" in out
+        assert "verdict" in out
+
+    def test_trace_replay_profiling(self):
+        out = run_example("trace_replay_profiling.py")
+        assert "Per-task execution profile" in out
+        assert "analysis from the saved trace" in out
+
+    def test_battery_life(self):
+        out = run_example("battery_life.py")
+        assert "battery hours" in out
+        assert "longer than" in out
+
+    def test_core_config_explorer(self):
+        out = run_example("core_config_explorer.py", "video-player")
+        assert "Pareto frontier" in out
+
+    @pytest.mark.slow
+    def test_scheduler_tuning(self):
+        out = run_example("scheduler_tuning.py", timeout=420)
+        assert "Best setting" in out

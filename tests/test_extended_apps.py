@@ -1,0 +1,73 @@
+"""Tests for the extended application suite."""
+
+import pytest
+
+from repro.core.study import CharacterizationStudy, run_app
+from repro.platform.coretypes import CoreType
+from repro.workloads.base import Metric
+from repro.workloads.extended import EXTENDED_APP_NAMES, make_extended_app
+from repro.workloads.mobile import MOBILE_APP_NAMES, make_app
+
+
+class TestRegistry:
+    def test_four_extended_apps(self):
+        assert set(EXTENDED_APP_NAMES) == {
+            "camera", "maps", "social-feed", "voice-call",
+        }
+
+    def test_no_name_collision_with_paper_suite(self):
+        assert not set(EXTENDED_APP_NAMES) & set(MOBILE_APP_NAMES)
+
+    def test_make_app_resolves_both_suites(self):
+        assert make_app("camera").name == "camera"
+        assert make_app("bbench").name == "bbench"
+
+    def test_unknown_name_lists_both_suites(self):
+        with pytest.raises(KeyError, match="voice-call"):
+            make_app("minesweeper")
+
+    def test_make_extended_rejects_paper_names(self):
+        with pytest.raises(KeyError):
+            make_extended_app("bbench")
+
+
+class TestBehaviour:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return CharacterizationStudy(seed=7)
+
+    def test_camera_holds_preview_rate(self, study):
+        run = study.characterize("camera").run
+        assert run.avg_fps() == pytest.approx(30.0, abs=2.0)
+
+    def test_voice_call_is_tiny_core_material(self, study):
+        c = study.characterize("voice-call")
+        # Strictly periodic tiny loads: no big cores, min-state heavy.
+        assert c.tlp.big_active_pct == 0.0
+        assert c.efficiency.min_pct > 40.0
+        assert c.run.avg_fps() == pytest.approx(50.0, abs=2.0)
+
+    def test_maps_produces_actions(self, study):
+        run = study.characterize("maps").run
+        assert run.metric is Metric.LATENCY
+        assert run.latency_s() > 0.5
+
+    def test_social_feed_mostly_little(self, study):
+        c = study.characterize("social-feed")
+        assert c.tlp.big_active_pct < 10.0
+
+    def test_camera_capture_bursts_exist(self):
+        run = run_app("camera", seed=3)
+        # JPEG capture bursts push at least brief big-core activity or
+        # sustained little load; either way total CPU time is non-trivial.
+        busy_s = float(run.trace.busy.sum()) * run.trace.tick_s
+        assert busy_s > 2.0
+
+    def test_extended_apps_work_on_reduced_configs(self):
+        from repro.platform.chip import CoreConfig
+
+        run = run_app("voice-call", seed=3, core_config=CoreConfig(1, 0),
+                      max_seconds=4.0)
+        assert run.avg_fps() == pytest.approx(50.0, abs=3.0)
+        big = run.trace.cores_of_type(CoreType.BIG)
+        assert run.trace.busy[big].sum() == 0.0

@@ -1,0 +1,106 @@
+"""Tests for the extension experiments and the efficiency scheduler."""
+
+import pytest
+
+from repro.core.study import run_app
+from repro.platform.chip import exynos5422
+from repro.platform.coretypes import CoreType, cortex_a7, cortex_a15
+from repro.platform.perfmodel import WorkClass
+from repro.sched.efficiency_sched import EfficiencyScheduler
+from repro.sched.params import HMPParams
+from repro.sim.core import SimCore
+from repro.experiments.ext_governor_compare import run_governor_comparison
+from repro.experiments.ext_thermal import run_thermal
+from repro.experiments.ext_tiny_core import tiny_chip, tiny_core_spec
+
+
+def make_cores():
+    cores = []
+    for i in range(2):
+        cores.append(SimCore(i, cortex_a7(), True, 1_300_000))
+    for i in range(2):
+        cores.append(SimCore(2 + i, cortex_a15(), True, 1_900_000))
+    return cores
+
+
+class TestEfficiencyScheduler:
+    def test_speedup_cache_uses_work_class(self):
+        from repro.sched.load import LoadTracker
+        from repro.sim.task import Task
+        from repro.platform.perfmodel import COMPUTE_BOUND
+
+        cores = make_cores()
+        sched = EfficiencyScheduler(cores, HMPParams())
+
+        def behavior(ctx):
+            yield  # pragma: no cover
+
+        cache_hungry = WorkClass("cache", compute_fraction=0.2, wss_kb=2000)
+        t1 = Task("cpu", behavior, COMPUTE_BOUND)
+        t2 = Task("mem", behavior, cache_hungry)
+        for t in (t1, t2):
+            t.load = LoadTracker(initial=500.0)
+        # Cache-sensitive work gains more from the big core's 2MB L2.
+        assert sched.big_speedup(t2) > sched.big_speedup(t1)
+
+    def test_runs_end_to_end(self):
+        run = run_app(
+            "video-player",
+            chip=exynos5422(screen_on=True),
+            seed=1,
+            max_seconds=3.0,
+            scheduler_factory=EfficiencyScheduler,
+        )
+        assert run.avg_fps() > 25.0
+
+
+class TestTinyCore:
+    def test_tiny_spec_weaker_than_a7(self):
+        tiny = tiny_core_spec()
+        assert tiny.ipc_ratio < cortex_a7().ipc_ratio
+        assert tiny.l2_kb < cortex_a7().l2_kb
+        assert tiny.core_type is CoreType.LITTLE
+
+    def test_tiny_chip_power_coefficients_reduced(self):
+        chip = tiny_chip()
+        base = exynos5422()
+        tiny_params = chip.power_model.params.core[CoreType.LITTLE]
+        base_params = base.power_model.params.core[CoreType.LITTLE]
+        assert tiny_params.static_mw_per_v < base_params.static_mw_per_v
+        assert tiny_params.dyn_mw_per_v2ghz < base_params.dyn_mw_per_v2ghz
+
+    def test_tiny_chip_opp_floor(self):
+        chip = tiny_chip()
+        assert chip.little_cluster.opp_table.min_khz == 200_000
+        assert chip.little_cluster.opp_table.max_khz == 800_000
+
+
+class TestGovernorComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_governor_comparison(apps=["video-player"], seed=1)
+
+    def test_all_governors_run(self, result):
+        assert set(result.governors()) == {
+            "performance", "interactive", "ondemand", "schedutil",
+            "conservative", "powersave",
+        }
+
+    def test_power_ordering(self, result):
+        power = {g: result.power_mw[g]["video-player"] for g in result.governors()}
+        assert power["performance"] >= power["interactive"] - 1.0
+        assert power["interactive"] >= power["powersave"] - 1.0
+
+    def test_playback_holds_under_all(self, result):
+        for gov in result.governors():
+            assert result.performance[gov]["video-player"] > 25.0, gov
+
+
+class TestThermalExtension:
+    def test_sustained_run_throttles(self):
+        result = run_thermal(total_units=12.0, seed=1)
+        assert result.throttled_s > result.unthrottled_s
+        assert result.throttle_events >= 1
+        assert result.mean_big_khz_last_s < result.mean_big_khz_first_s
+        assert result.peak_temp_c > 70.0
+        assert "slowdown" in result.render()

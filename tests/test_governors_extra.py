@@ -1,0 +1,129 @@
+"""Tests for the additional governors (ondemand, conservative, powersave)."""
+
+import pytest
+
+from repro.platform.coretypes import CoreType, cortex_a7
+from repro.platform.opp import little_opp_table
+from repro.sched.governor import (
+    ClusterFreqDomain,
+    ConservativeGovernor,
+    OndemandGovernor,
+    PowersaveGovernor,
+)
+from repro.sim.core import SimCore
+
+TICK_S = 0.001
+
+
+def make_domain(n_cores=1):
+    table = little_opp_table()
+    cores = [
+        SimCore(i, cortex_a7(), enabled=True, max_freq_khz=table.max_khz)
+        for i in range(n_cores)
+    ]
+    return ClusterFreqDomain(CoreType.LITTLE, table, cores), cores
+
+
+def feed(gov, domain, cores, busy, ticks):
+    for t in range(ticks):
+        cores[0].busy_in_window_s += busy * TICK_S
+        gov.tick(domain, t, TICK_S)
+
+
+class TestPowersave:
+    def test_pins_min(self):
+        domain, cores = make_domain()
+        gov = PowersaveGovernor()
+        gov.start(domain)
+        domain.set_freq(domain.opp_table.min_khz)
+        gov.tick(domain, 0, TICK_S)
+        assert domain.freq_khz == domain.opp_table.min_khz
+
+
+class TestOndemand:
+    def test_jumps_to_max_on_load(self):
+        domain, cores = make_domain()
+        gov = OndemandGovernor(sampling_ms=20)
+        gov.start(domain)
+        feed(gov, domain, cores, 1.0, 20)
+        assert domain.freq_khz == domain.opp_table.max_khz
+
+    def test_steps_down_on_low_load(self):
+        domain, cores = make_domain()
+        gov = OndemandGovernor(sampling_ms=20)
+        gov.start(domain)
+        domain.set_freq(domain.opp_table.max_khz)
+        feed(gov, domain, cores, 0.1, 20)
+        assert domain.freq_khz < domain.opp_table.max_khz
+
+    def test_never_raises_without_jump(self):
+        domain, cores = make_domain()
+        gov = OndemandGovernor(sampling_ms=20, up_threshold=0.8)
+        gov.start(domain)
+        domain.set_freq(800_000)
+        feed(gov, domain, cores, 0.5, 20)  # below up threshold
+        assert domain.freq_khz <= 800_000
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            OndemandGovernor(sampling_ms=0)
+        with pytest.raises(ValueError):
+            OndemandGovernor(up_threshold=1.5)
+
+
+class TestConservative:
+    def test_single_step_up(self):
+        domain, cores = make_domain()
+        gov = ConservativeGovernor(sampling_ms=20)
+        gov.start(domain)
+        feed(gov, domain, cores, 1.0, 20)
+        assert domain.freq_khz == 600_000  # exactly one OPP above min
+
+    def test_single_step_down(self):
+        domain, cores = make_domain()
+        gov = ConservativeGovernor(sampling_ms=20)
+        gov.start(domain)
+        domain.set_freq(1_000_000)
+        feed(gov, domain, cores, 0.05, 20)
+        assert domain.freq_khz == 900_000
+
+    def test_holds_in_band(self):
+        domain, cores = make_domain()
+        gov = ConservativeGovernor(sampling_ms=20)
+        gov.start(domain)
+        domain.set_freq(1_000_000)
+        feed(gov, domain, cores, 0.5, 20)
+        assert domain.freq_khz == 1_000_000
+
+    def test_ramp_takes_many_samples(self):
+        domain, cores = make_domain()
+        gov = ConservativeGovernor(sampling_ms=20)
+        gov.start(domain)
+        feed(gov, domain, cores, 1.0, 20 * 8)  # 8 samples for 8 steps
+        assert domain.freq_khz == domain.opp_table.max_khz
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            ConservativeGovernor(up_threshold=0.3, down_threshold=0.5)
+
+
+class TestThermalCap:
+    def test_cap_clamps_current_and_future_freq(self):
+        domain, cores = make_domain()
+        domain.set_freq(1_300_000)
+        domain.set_cap(800_000)
+        assert domain.freq_khz == 800_000
+        domain.set_freq(1_300_000)  # governor asks for max
+        assert domain.freq_khz == 800_000
+
+    def test_cap_release(self):
+        domain, cores = make_domain()
+        domain.set_cap(800_000)
+        domain.set_cap(1_300_000)
+        domain.set_freq(1_300_000)
+        assert domain.freq_khz == 1_300_000
+
+    def test_cap_must_be_opp(self):
+        domain, cores = make_domain()
+        with pytest.raises(ValueError):
+            domain.set_cap(850_000)

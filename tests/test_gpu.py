@@ -1,0 +1,153 @@
+"""Tests for the GPU model and its pipeline integration."""
+
+import pytest
+
+from repro.platform.gpu import GpuPowerParams, GpuSpec, mali_opp_table
+from repro.platform.perfmodel import COMPUTE_BOUND
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.gpu import GpuDevice
+from repro.sim.task import Task, WaitSignal, Work
+from repro.workloads.base import App, FramePipelineSpec, Metric
+
+
+class TestGpuSpec:
+    def test_throughput_scales_with_frequency(self):
+        spec = GpuSpec()
+        assert spec.throughput_units_per_sec(spec.opp_table.max_khz) == 1.0
+        half = spec.throughput_units_per_sec(spec.opp_table.max_khz // 2)
+        assert half == pytest.approx(0.5, abs=0.01)
+
+    def test_power_monotone_in_busy(self):
+        spec = GpuSpec()
+        f = spec.opp_table.max_khz
+        assert spec.power_mw(f, 1.0) > spec.power_mw(f, 0.5) > spec.power_mw(f, 0.0)
+
+    def test_power_rejects_bad_busy(self):
+        with pytest.raises(ValueError):
+            GpuSpec().power_mw(600_000, 1.5)
+
+    def test_power_params_validation(self):
+        with pytest.raises(ValueError):
+            GpuPowerParams(static_mw_per_v=-1)
+
+    def test_mali_opp_range(self):
+        table = mali_opp_table()
+        assert table.min_khz == 177_000
+        assert table.max_khz <= 600_000
+
+
+class TestGpuDevice:
+    def make(self):
+        device = GpuDevice(GpuSpec())
+        device.freq_khz = device.spec.opp_table.max_khz
+        return device
+
+    def test_job_completion_posts_channel(self):
+        device = self.make()
+        from repro.sim.task import Channel
+
+        done = Channel("done")
+        device.submit(0.0005, done)  # half a tick at max clock
+        device.tick(0.001)
+        assert done.permits == 1
+        assert device.jobs_completed == 1
+        assert device.queue_depth == 0
+
+    def test_long_job_spans_ticks(self):
+        device = self.make()
+        from repro.sim.task import Channel
+
+        done = Channel("done")
+        device.submit(0.0035, done)
+        for _ in range(3):
+            device.tick(0.001)
+        assert done.permits == 0
+        device.tick(0.001)
+        assert done.permits == 1
+
+    def test_fifo_order(self):
+        device = self.make()
+        from repro.sim.task import Channel
+
+        first, second = Channel("a"), Channel("b")
+        device.submit(0.0008, first)
+        device.submit(0.0008, second)
+        device.tick(0.001)
+        assert first.permits == 1 and second.permits == 0
+
+    def test_rejects_empty_job(self):
+        from repro.sim.task import Channel
+
+        with pytest.raises(ValueError):
+            self.make().submit(0.0, Channel("x"))
+
+    def test_governor_ramps_under_load(self):
+        device = GpuDevice(GpuSpec())
+        from repro.sim.task import Channel
+
+        start = device.freq_khz
+        for _ in range(200):
+            if device.queue_depth == 0:
+                device.submit(0.01, Channel("sink"))
+            device.tick(0.001)
+        assert device.freq_khz > start
+
+    def test_energy_accumulates(self):
+        device = self.make()
+        for _ in range(10):
+            device.tick(0.001)
+        assert device.energy_mj > 0  # idle leakage still counts
+
+
+class TestEngineIntegration:
+    def test_no_gpu_by_default(self):
+        sim = Simulator(SimConfig(max_seconds=0.1))
+        assert sim.gpu is None
+
+    def test_task_can_wait_on_gpu_job(self):
+        sim = Simulator(SimConfig(gpu=GpuSpec(), max_seconds=3.0))
+        done_at = []
+
+        def behavior(ctx):
+            chan = sim.channel("gpu-done")
+            yield Work(0.001)
+            sim.gpu.submit(0.02, chan)
+            yield WaitSignal(chan)
+            done_at.append(ctx.now_s)
+            ctx.request_stop()
+
+        sim.spawn(Task("t", behavior, COMPUTE_BOUND))
+        sim.run()
+        assert done_at and done_at[0] > 0.02  # GPU below max clock at first
+
+    def test_gpu_power_in_system_total(self):
+        def run(with_gpu):
+            sim = Simulator(SimConfig(
+                gpu=GpuSpec() if with_gpu else None, max_seconds=0.5, seed=1
+            ))
+            return sim.run().average_power_mw()
+
+        assert run(True) > run(False)
+
+    def test_frame_pipeline_gpu_bound(self):
+        class Game(App):
+            def __init__(self, gpu_units):
+                super().__init__("g", Metric.FPS, COMPUTE_BOUND,
+                                 ambient_ui_duty=0, ambient_bg_interval_ms=0)
+                self.gpu_units = gpu_units
+
+            def build(self, sim):
+                self.add_frame_pipeline(sim, FramePipelineSpec(
+                    logic_units=0.001, render_units=0.001,
+                    units_sigma=0.1, gpu_units=self.gpu_units))
+
+        def fps(gpu_units):
+            sim = Simulator(SimConfig(gpu=GpuSpec(), max_seconds=6.0, seed=2))
+            app = Game(gpu_units)
+            app.install(sim)
+            sim.run()
+            return app.avg_fps()
+
+        # 40 ms of max-clock GPU work per frame cannot hit 60 fps.
+        assert fps(0.040) < 30.0
+        assert fps(0.002) > fps(0.040) + 15.0

@@ -1,0 +1,96 @@
+"""Tests for the DRAM contention model."""
+
+import pytest
+
+from repro.platform.chip import CoreConfig, exynos5422
+from repro.platform.coretypes import CoreType, cortex_a7
+from repro.platform.perfmodel import WorkClass, throughput_units_per_sec
+from repro.sched.params import baseline_config
+from repro.sim.engine import SimConfig, Simulator
+from repro.experiments.common import fixed_governors
+from repro.workloads.spec import SpecBenchmark
+
+MEMORY_HEAVY = WorkClass("membound", compute_fraction=0.25, wss_kb=1800)
+CPU_HEAVY = WorkClass("cpubound", compute_fraction=0.99, wss_kb=64)
+
+
+class TestContentionFactor:
+    def test_single_core_no_contention(self):
+        chip = exynos5422()
+        assert chip.memory_contention(0) == 1.0
+        assert chip.memory_contention(1) == 1.0
+
+    def test_scales_with_busy_cores(self):
+        chip = exynos5422()
+        factors = [chip.memory_contention(n) for n in range(1, 9)]
+        assert factors == sorted(factors)
+        assert factors[1] == pytest.approx(1.0 + chip.memory_contention_alpha)
+
+    def test_capped(self):
+        chip = exynos5422()
+        assert chip.memory_contention(100) == 1.5
+
+    def test_disabled_with_zero_alpha(self):
+        chip = exynos5422()
+        chip.memory_contention_alpha = 0.0
+        assert chip.memory_contention(8) == 1.0
+
+    def test_rejects_negative_alpha(self):
+        from repro.platform.chip import ChipSpec
+        base = exynos5422()
+        with pytest.raises(ValueError):
+            ChipSpec("x", base.little_cluster, base.big_cluster,
+                     memory_contention_alpha=-0.1)
+
+
+class TestThroughputUnderContention:
+    def test_memory_component_inflates(self):
+        a7 = cortex_a7()
+        free = throughput_units_per_sec(a7, 1_300_000, MEMORY_HEAVY)
+        contended = throughput_units_per_sec(
+            a7, 1_300_000, MEMORY_HEAVY, memory_contention=1.3
+        )
+        assert contended < free * 0.9
+
+    def test_compute_bound_barely_affected(self):
+        a7 = cortex_a7()
+        free = throughput_units_per_sec(a7, 1_300_000, CPU_HEAVY)
+        contended = throughput_units_per_sec(
+            a7, 1_300_000, CPU_HEAVY, memory_contention=1.5
+        )
+        assert contended > free * 0.98
+
+    def test_rejects_sub_unity_contention(self):
+        with pytest.raises(ValueError):
+            throughput_units_per_sec(
+                cortex_a7(), 1_300_000, CPU_HEAVY, memory_contention=0.5
+            )
+
+
+class TestEndToEnd:
+    def _run_kernels(self, n: int, work: WorkClass) -> float:
+        """Elapsed time for n co-running copies of a fixed kernel."""
+        chip = exynos5422()
+        sim = Simulator(SimConfig(
+            chip=chip,
+            core_config=CoreConfig(little=4, big=0),
+            scheduler=baseline_config(),
+            governors=fixed_governors(chip),
+            max_seconds=60.0,
+        ))
+        bench = SpecBenchmark("k", work, total_units=1.0)
+        for _ in range(n):
+            bench.install(sim, stop_on_finish=False)
+        return sim.run().duration_s
+
+    def test_corunning_memory_kernels_slow_down(self):
+        solo = self._run_kernels(1, MEMORY_HEAVY)
+        four = self._run_kernels(4, MEMORY_HEAVY)
+        # Four copies on four cores: without contention, same elapsed;
+        # with it, clearly slower.
+        assert four > solo * 1.10
+
+    def test_corunning_cpu_kernels_unaffected(self):
+        solo = self._run_kernels(1, CPU_HEAVY)
+        four = self._run_kernels(4, CPU_HEAVY)
+        assert four < solo * 1.03

@@ -1,0 +1,104 @@
+"""Tests for the parallelism-aware scheduler (paper Sec. IV.A, approach 2)."""
+
+import pytest
+
+from repro.platform.chip import CoreConfig
+from repro.platform.coretypes import CoreType
+from repro.platform.perfmodel import COMPUTE_BOUND
+from repro.sched.parallelism_sched import ParallelismAwareScheduler
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.task import Sleep, Task, Work
+
+
+def make_sim(max_seconds=3.0, seed=0, **kwargs):
+    return Simulator(SimConfig(
+        max_seconds=max_seconds,
+        scheduler_factory=ParallelismAwareScheduler,
+        seed=seed,
+        **kwargs,
+    ))
+
+
+def spin(ctx):
+    while True:
+        yield Work(1.0)
+
+
+def duty(ctx):
+    while True:
+        yield Work(0.004)
+        yield Sleep(0.004)
+
+
+class TestSerialPhase:
+    def test_single_heavy_task_promoted_to_big(self):
+        sim = make_sim()
+        sim.spawn(Task("serial", spin, COMPUTE_BOUND))
+        trace = sim.run()
+        big = trace.cores_of_type(CoreType.BIG)
+        second_half = trace.busy[big, len(trace) // 2:]
+        assert second_half.sum(axis=0).mean() > 0.9
+
+    def test_low_load_wakeups_not_promoted(self):
+        sim = make_sim()
+
+        def tiny(ctx):
+            while True:
+                yield Work(0.0005)
+                yield Sleep(0.05)
+
+        sim.spawn(Task("timer", tiny, COMPUTE_BOUND))
+        trace = sim.run()
+        big = trace.cores_of_type(CoreType.BIG)
+        assert trace.busy[big].sum() == 0.0
+
+
+class TestParallelPhase:
+    def test_abundant_parallelism_stays_little(self):
+        sim = make_sim(max_seconds=2.0)
+        # More runnable tasks than big cores: a parallel phase.
+        for i in range(6):
+            sim.spawn(Task(f"w{i}", duty, COMPUTE_BOUND))
+        trace = sim.run()
+        big = trace.cores_of_type(CoreType.BIG)
+        little = trace.cores_of_type(CoreType.LITTLE)
+        assert trace.busy[little].sum() > 0
+        # Mostly little: the occasional tick may dip under the threshold
+        # when several tasks sleep simultaneously.
+        big_share = trace.busy[big].sum() / trace.busy.sum()
+        assert big_share < 0.25
+
+    def test_demotes_when_parallelism_appears(self):
+        sim = make_sim(max_seconds=4.0)
+        serial = Task("serial", spin, COMPUTE_BOUND)
+        sim.spawn(serial)
+
+        def late_crowd(ctx):
+            yield Sleep(1.5)
+            while True:
+                yield Work(0.004)
+                yield Sleep(0.002)
+
+        for i in range(5):
+            sim.spawn(Task(f"late{i}", late_crowd, COMPUTE_BOUND))
+        trace = sim.run()
+        big = trace.cores_of_type(CoreType.BIG)
+        early = trace.busy[big, 800:1400].sum(axis=0).mean()
+        late = trace.busy[big, 2500:].sum(axis=0).mean()
+        # Big usage collapses once the crowd arrives.
+        assert early > 0.8
+        assert late < 0.4
+
+
+class TestDegenerateConfigs:
+    def test_little_only(self):
+        sim = make_sim(core_config=CoreConfig(4, 0), max_seconds=1.0)
+        sim.spawn(Task("spin", spin, COMPUTE_BOUND))
+        trace = sim.run()
+        assert trace.busy[trace.cores_of_type(CoreType.BIG)].sum() == 0.0
+
+    def test_big_only(self):
+        sim = make_sim(core_config=CoreConfig(0, 4), max_seconds=1.0)
+        sim.spawn(Task("spin", spin, COMPUTE_BOUND))
+        trace = sim.run()
+        assert trace.busy[trace.cores_of_type(CoreType.BIG)].sum() > 0.0

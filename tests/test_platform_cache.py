@@ -1,0 +1,54 @@
+"""Tests for the L2 working-set capacity model."""
+
+import pytest
+
+from repro.platform.cache import DRAM_PENALTY, memory_time_factor, miss_ratio
+
+
+class TestMissRatio:
+    def test_fits_entirely(self):
+        assert miss_ratio(512, 100) == 0.0
+        assert miss_ratio(512, 512) == 0.0
+
+    def test_partial_fit(self):
+        # Working set twice the cache: half the traffic misses.
+        assert miss_ratio(512, 1024) == pytest.approx(0.5)
+
+    def test_asymptotically_all_miss(self):
+        assert miss_ratio(512, 512_000) == pytest.approx(0.999)
+
+    def test_monotonic_in_working_set(self):
+        ratios = [miss_ratio(512, w) for w in (256, 512, 768, 1024, 2048, 4096)]
+        assert ratios == sorted(ratios)
+
+    def test_monotonic_in_cache_size(self):
+        # Bigger cache -> fewer misses for the same working set.
+        assert miss_ratio(2048, 1536) < miss_ratio(512, 1536)
+
+    def test_big_little_l2_asymmetry(self):
+        # The paper's motivating case: a working set fitting the big
+        # cluster's 2MB L2 but thrashing the little cluster's 512KB.
+        assert miss_ratio(2048, 2000) == 0.0
+        assert miss_ratio(512, 2000) > 0.7
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            miss_ratio(0, 100)
+        with pytest.raises(ValueError):
+            miss_ratio(512, -1)
+
+
+class TestMemoryTimeFactor:
+    def test_no_penalty_when_fitting(self):
+        assert memory_time_factor(2048, 1024) == 1.0
+
+    def test_scales_with_dram_penalty(self):
+        assert memory_time_factor(512, 1024, dram_penalty=4.0) == pytest.approx(3.0)
+        assert memory_time_factor(512, 1024, dram_penalty=8.0) == pytest.approx(5.0)
+
+    def test_default_penalty(self):
+        assert memory_time_factor(512, 1024) == pytest.approx(1.0 + 0.5 * DRAM_PENALTY)
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ValueError):
+            memory_time_factor(512, 1024, dram_penalty=-1.0)

@@ -1,0 +1,91 @@
+"""Tests for chip specs and core-enable configurations."""
+
+import pytest
+
+from repro.platform.chip import ChipSpec, CoreConfig, exynos5422
+from repro.platform.coretypes import (
+    ClusterSpec,
+    CoreType,
+    cortex_a7,
+    cortex_a15,
+)
+from repro.platform.opp import big_opp_table, little_opp_table
+
+
+class TestCoreConfig:
+    def test_labels(self):
+        assert CoreConfig(4, 4).label() == "L4+B4"
+        assert CoreConfig(2, 0).label() == "L2"
+        assert CoreConfig(0, 4).label() == "B4"
+
+    def test_parse_roundtrip(self):
+        for label in ["L4+B4", "L2", "B4", "L2+B1", "L4+B2"]:
+            assert CoreConfig.parse(label).label() == label
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            CoreConfig.parse("X3")
+
+    def test_rejects_empty_config(self):
+        with pytest.raises(ValueError):
+            CoreConfig(0, 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CoreConfig(-1, 4)
+
+    def test_total_and_count(self):
+        config = CoreConfig(2, 3)
+        assert config.total == 5
+        assert config.count(CoreType.LITTLE) == 2
+        assert config.count(CoreType.BIG) == 3
+
+
+class TestChipSpec:
+    def test_exynos_preset_shape(self):
+        chip = exynos5422()
+        assert chip.little_cluster.num_cores == 4
+        assert chip.big_cluster.num_cores == 4
+        assert chip.little_cluster.spec.l2_kb == 512
+        assert chip.big_cluster.spec.l2_kb == 2048
+
+    def test_max_config(self):
+        assert exynos5422().max_config().label() == "L4+B4"
+
+    def test_validate_rejects_oversized_config(self):
+        chip = exynos5422()
+        with pytest.raises(ValueError):
+            chip.validate_config(CoreConfig(5, 4))
+        with pytest.raises(ValueError):
+            chip.validate_config(CoreConfig(4, 5))
+
+    def test_cluster_accessor(self):
+        chip = exynos5422()
+        assert chip.cluster(CoreType.LITTLE) is chip.little_cluster
+        assert chip.cluster(CoreType.BIG) is chip.big_cluster
+
+    def test_screen_on_adds_power(self):
+        off = exynos5422(screen_on=False)
+        on = exynos5422(screen_on=True)
+        assert on.power_model.params.screen_mw > 0
+        assert off.power_model.params.screen_mw == 0
+
+    def test_rejects_swapped_clusters(self):
+        little = ClusterSpec(cortex_a7(), 4, little_opp_table())
+        big = ClusterSpec(cortex_a15(), 4, big_opp_table())
+        with pytest.raises(ValueError):
+            ChipSpec("bad", little_cluster=big, big_cluster=little)
+
+
+class TestCoreSpecs:
+    def test_table1_parameters(self):
+        a7, a15 = cortex_a7(), cortex_a15()
+        assert a7.issue_width == 2
+        assert a15.issue_width == 3
+        assert a7.ipc_ratio == 1.0
+        assert a15.ipc_ratio > 1.0
+
+    def test_rejects_bad_ipc(self):
+        import dataclasses
+        with pytest.raises(ValueError):
+            dataclasses.replace(cortex_a7(), ipc_ratio=0.0)

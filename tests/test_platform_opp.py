@@ -1,0 +1,114 @@
+"""Tests for operating-performance-point tables."""
+
+import pytest
+
+from repro.platform.opp import (
+    OPP,
+    OPPTable,
+    big_opp_table,
+    linear_voltage_table,
+    little_opp_table,
+)
+
+
+class TestOPP:
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            OPP(freq_khz=0, voltage_v=1.0)
+
+    def test_rejects_nonpositive_voltage(self):
+        with pytest.raises(ValueError):
+            OPP(freq_khz=1000, voltage_v=0.0)
+
+
+class TestOPPTable:
+    def make(self):
+        return OPPTable([
+            OPP(500_000, 0.9),
+            OPP(1_000_000, 1.0),
+            OPP(1_300_000, 1.2),
+        ])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            OPPTable([])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            OPPTable([OPP(1_000_000, 1.0), OPP(500_000, 0.9)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            OPPTable([OPP(500_000, 0.9), OPP(500_000, 1.0)])
+
+    def test_min_max(self):
+        table = self.make()
+        assert table.min_khz == 500_000
+        assert table.max_khz == 1_300_000
+
+    def test_voltage_at_exact_point(self):
+        assert self.make().voltage_at(1_000_000) == pytest.approx(1.0)
+
+    def test_voltage_at_missing_point_raises(self):
+        with pytest.raises(KeyError):
+            self.make().voltage_at(800_000)
+
+    def test_contains(self):
+        table = self.make()
+        assert table.contains(500_000)
+        assert not table.contains(600_000)
+
+    def test_ceil_snaps_up(self):
+        table = self.make()
+        assert table.ceil(600_000) == 1_000_000
+        assert table.ceil(1_000_000) == 1_000_000
+
+    def test_ceil_clamps_to_max(self):
+        assert self.make().ceil(9_999_999) == 1_300_000
+
+    def test_floor_snaps_down(self):
+        table = self.make()
+        assert table.floor(1_200_000) == 1_000_000
+        assert table.floor(500_000) == 500_000
+
+    def test_floor_clamps_to_min(self):
+        assert self.make().floor(100_000) == 500_000
+
+    def test_len_and_iter(self):
+        table = self.make()
+        assert len(table) == 3
+        assert [p.freq_khz for p in table] == [500_000, 1_000_000, 1_300_000]
+
+
+class TestLinearVoltageTable:
+    def test_endpoint_voltages(self):
+        table = linear_voltage_table(500_000, 1_300_000, 100_000, 0.9, 1.2)
+        assert table.voltage_at(500_000) == pytest.approx(0.9)
+        assert table.voltage_at(1_300_000) == pytest.approx(1.2)
+
+    def test_voltage_monotonic(self):
+        table = linear_voltage_table(800_000, 1_900_000, 100_000, 0.9, 1.35)
+        voltages = [p.voltage_v for p in table]
+        assert voltages == sorted(voltages)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            linear_voltage_table(500_000, 1_300_000, 0, 0.9, 1.2)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            linear_voltage_table(1_300_000, 500_000, 100_000, 0.9, 1.2)
+
+
+class TestPlatformTables:
+    def test_little_range_matches_paper(self):
+        table = little_opp_table()
+        assert table.min_khz == 500_000
+        assert table.max_khz == 1_300_000
+        assert len(table) == 9  # 100 MHz steps
+
+    def test_big_range_matches_paper(self):
+        table = big_opp_table()
+        assert table.min_khz == 800_000
+        assert table.max_khz == 1_900_000
+        assert len(table) == 12

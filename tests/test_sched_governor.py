@@ -1,0 +1,169 @@
+"""Tests for the interactive frequency governor (paper Algorithm 2)."""
+
+import pytest
+
+from repro.platform.coretypes import CoreType, cortex_a7
+from repro.platform.opp import little_opp_table
+from repro.sched.governor import (
+    ClusterFreqDomain,
+    FixedFrequencyGovernor,
+    InteractiveGovernor,
+    PerformanceGovernor,
+)
+from repro.sched.params import GovernorParams
+from repro.sim.core import SimCore
+
+TICK_S = 0.001
+
+
+def make_domain(n_cores=2):
+    table = little_opp_table()
+    cores = [
+        SimCore(i, cortex_a7(), enabled=True, max_freq_khz=table.max_khz)
+        for i in range(n_cores)
+    ]
+    return ClusterFreqDomain(CoreType.LITTLE, table, cores), cores
+
+
+def feed(governor, domain, cores, busy_fraction, ticks):
+    """Advance ``ticks``, reporting ``busy_fraction`` on core 0."""
+    for t in range(ticks):
+        cores[0].busy_in_window_s += busy_fraction * TICK_S
+        governor.tick(domain, t, TICK_S)
+
+
+class TestClusterFreqDomain:
+    def test_applies_frequency_to_cores(self):
+        domain, cores = make_domain()
+        domain.set_freq(1_000_000)
+        assert all(c.freq_khz == 1_000_000 for c in cores)
+
+    def test_rejects_non_opp(self):
+        domain, _ = make_domain()
+        with pytest.raises(ValueError):
+            domain.set_freq(999_999)
+
+    def test_voltage_tracks_frequency(self):
+        domain, _ = make_domain()
+        v_min = domain.voltage_v()
+        domain.set_freq(1_300_000)
+        assert domain.voltage_v() > v_min
+
+
+class TestInteractiveGovernor:
+    def test_starts_at_min(self):
+        domain, _ = make_domain()
+        gov = InteractiveGovernor(GovernorParams())
+        gov.start(domain)
+        assert domain.freq_khz == domain.opp_table.min_khz
+
+    def test_no_decision_before_sampling_period(self):
+        domain, cores = make_domain()
+        gov = InteractiveGovernor(GovernorParams(sampling_ms=20))
+        gov.start(domain)
+        feed(gov, domain, cores, 1.0, ticks=19)
+        assert domain.freq_khz == domain.opp_table.min_khz
+
+    def test_hispeed_jump_on_high_load(self):
+        domain, cores = make_domain()
+        params = GovernorParams(sampling_ms=20)
+        gov = InteractiveGovernor(params)
+        gov.start(domain)
+        feed(gov, domain, cores, 1.0, ticks=20)
+        assert domain.freq_khz == gov.hispeed_khz(domain)
+
+    def test_scales_above_hispeed_when_still_loaded(self):
+        domain, cores = make_domain()
+        gov = InteractiveGovernor(GovernorParams(sampling_ms=20))
+        gov.start(domain)
+        feed(gov, domain, cores, 1.0, ticks=40)
+        assert domain.freq_khz == domain.opp_table.max_khz
+
+    def test_holds_frequency_in_dead_band(self):
+        domain, cores = make_domain()
+        gov = InteractiveGovernor(GovernorParams(sampling_ms=20))
+        gov.start(domain)
+        domain.set_freq(1_000_000)
+        feed(gov, domain, cores, 0.5, ticks=20)  # between down (0.35) and target (0.70)
+        assert domain.freq_khz == 1_000_000
+
+    def test_scales_down_on_low_load(self):
+        domain, cores = make_domain()
+        gov = InteractiveGovernor(GovernorParams(sampling_ms=20))
+        gov.start(domain)
+        domain.set_freq(1_300_000)
+        # Enough samples to pass the 80ms min-sample-time hold.
+        feed(gov, domain, cores, 0.1, ticks=120)
+        assert domain.freq_khz < 1_300_000
+
+    def test_idle_falls_to_min(self):
+        domain, cores = make_domain()
+        gov = InteractiveGovernor(GovernorParams(sampling_ms=20))
+        gov.start(domain)
+        domain.set_freq(1_300_000)
+        feed(gov, domain, cores, 0.0, ticks=120)
+        assert domain.freq_khz == domain.opp_table.min_khz
+
+    def test_hold_delays_downscale(self):
+        """min_sample_time: a just-raised frequency resists downscaling."""
+        domain, cores = make_domain()
+        gov = InteractiveGovernor(GovernorParams(sampling_ms=20, hold_ms=80))
+        gov.start(domain)
+        feed(gov, domain, cores, 1.0, ticks=20)  # burst -> hispeed raise
+        raised = domain.freq_khz
+        assert raised > domain.opp_table.min_khz
+        feed(gov, domain, cores, 0.0, ticks=40)  # idle, but inside hold
+        assert domain.freq_khz == raised
+        feed(gov, domain, cores, 0.0, ticks=80)  # hold expired
+        assert domain.freq_khz == domain.opp_table.min_khz
+
+    def test_hispeed_can_be_disabled(self):
+        domain, cores = make_domain()
+        gov = InteractiveGovernor(GovernorParams(sampling_ms=20, hispeed_enabled=False))
+        gov.start(domain)
+        feed(gov, domain, cores, 1.0, ticks=20)
+        # Without the jump the first raise is proportional from min.
+        assert domain.freq_khz < gov.hispeed_khz(domain)
+        assert domain.freq_khz > domain.opp_table.min_khz
+
+    def test_cluster_util_is_max_over_cores(self):
+        domain, cores = make_domain(n_cores=2)
+        gov = InteractiveGovernor(GovernorParams(sampling_ms=20))
+        gov.start(domain)
+        # Busy on core 1 only must still drive the shared frequency.
+        for t in range(20):
+            cores[1].busy_in_window_s += 1.0 * TICK_S
+            gov.tick(domain, t, TICK_S)
+        assert domain.freq_khz > domain.opp_table.min_khz
+
+    def test_longer_interval_reacts_slower(self):
+        for sampling, expect_raised in ((20, True), (100, False)):
+            domain, cores = make_domain()
+            gov = InteractiveGovernor(GovernorParams(sampling_ms=sampling))
+            gov.start(domain)
+            feed(gov, domain, cores, 1.0, ticks=50)
+            raised = domain.freq_khz > domain.opp_table.min_khz
+            assert raised is expect_raised
+
+    def test_window_resets_after_sample(self):
+        domain, cores = make_domain()
+        gov = InteractiveGovernor(GovernorParams(sampling_ms=20))
+        gov.start(domain)
+        feed(gov, domain, cores, 1.0, ticks=20)
+        assert cores[0].busy_in_window_s == 0.0
+
+
+class TestFixedGovernors:
+    def test_performance_pins_max(self):
+        domain, _ = make_domain()
+        gov = PerformanceGovernor()
+        gov.start(domain)
+        assert domain.freq_khz == domain.opp_table.max_khz
+        gov.tick(domain, 0, TICK_S)
+        assert domain.freq_khz == domain.opp_table.max_khz
+
+    def test_fixed_snaps_to_opp(self):
+        domain, _ = make_domain()
+        gov = FixedFrequencyGovernor(950_000)
+        gov.start(domain)
+        assert domain.freq_khz == 1_000_000

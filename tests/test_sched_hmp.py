@@ -1,0 +1,197 @@
+"""Tests for the HMP migration scheduler and intra-cluster balancing."""
+
+import pytest
+
+from repro.platform.coretypes import cortex_a7, cortex_a15
+from repro.platform.perfmodel import COMPUTE_BOUND
+from repro.sched.balance import balance_cluster, least_loaded, most_loaded
+from repro.sched.hmp import HMPScheduler
+from repro.sched.load import LoadTracker
+from repro.sched.params import HMPParams
+from repro.sim.core import SimCore
+from repro.sim.task import Task, TaskState
+
+
+def make_cores(n_little=2, n_big=2, enabled_little=None, enabled_big=None):
+    cores = []
+    for i in range(n_little):
+        on = enabled_little[i] if enabled_little else True
+        cores.append(SimCore(i, cortex_a7(), enabled=on, max_freq_khz=1_300_000))
+    for i in range(n_big):
+        on = enabled_big[i] if enabled_big else True
+        cores.append(SimCore(n_little + i, cortex_a15(), enabled=on, max_freq_khz=1_900_000))
+    return cores
+
+
+def make_task(name="t", load=0.0):
+    def behavior(ctx):
+        yield  # pragma: no cover - never executed in these unit tests
+
+    task = Task(name, behavior, COMPUTE_BOUND)
+    task.load = LoadTracker(initial=load)
+    task.state = TaskState.RUNNABLE
+    return task
+
+
+class TestWakePlacement:
+    def test_low_load_goes_little(self):
+        cores = make_cores()
+        hmp = HMPScheduler(cores, HMPParams())
+        core = hmp.place_wakeup(make_task(load=100.0))
+        assert core.core_type.value == "little"
+
+    def test_high_load_goes_big(self):
+        cores = make_cores()
+        hmp = HMPScheduler(cores, HMPParams())
+        core = hmp.place_wakeup(make_task(load=900.0))
+        assert core.core_type.value == "big"
+
+    def test_high_load_without_big_cores_goes_little(self):
+        cores = make_cores(enabled_big=[False, False])
+        hmp = HMPScheduler(cores, HMPParams())
+        core = hmp.place_wakeup(make_task(load=900.0))
+        assert core.core_type.value == "little"
+
+    def test_big_only_platform_places_everything_big(self):
+        cores = make_cores(enabled_little=[False, False])
+        hmp = HMPScheduler(cores, HMPParams())
+        core = hmp.place_wakeup(make_task(load=10.0))
+        assert core.core_type.value == "big"
+
+    def test_prefers_previous_core_when_idle(self):
+        cores = make_cores()
+        hmp = HMPScheduler(cores, HMPParams())
+        task = make_task(load=100.0)
+        task.last_core_id = 1
+        assert hmp.place_wakeup(task).core_id == 1
+
+    def test_ignores_previous_core_when_busy(self):
+        cores = make_cores()
+        hmp = HMPScheduler(cores, HMPParams())
+        cores[1].enqueue(make_task("occupant"))
+        task = make_task(load=100.0)
+        task.last_core_id = 1
+        assert hmp.place_wakeup(task).core_id != 1
+
+    def test_ignores_previous_core_of_wrong_cluster(self):
+        cores = make_cores()
+        hmp = HMPScheduler(cores, HMPParams())
+        task = make_task(load=900.0)  # must go big
+        task.last_core_id = 0  # a little core
+        assert hmp.place_wakeup(task).core_type.value == "big"
+
+    def test_requires_some_core(self):
+        cores = make_cores(enabled_little=[False, False], enabled_big=[False, False])
+        with pytest.raises(ValueError):
+            HMPScheduler(cores, HMPParams())
+
+
+class TestMigration:
+    def test_up_migration_over_threshold(self):
+        cores = make_cores()
+        hmp = HMPScheduler(cores, HMPParams())
+        task = make_task(load=800.0)
+        cores[0].enqueue(task)
+        moved = hmp.tick(cores)
+        assert moved == 1
+        assert task.core_id in (2, 3)
+        assert task.migrations == 1
+
+    def test_no_up_migration_below_threshold(self):
+        cores = make_cores()
+        hmp = HMPScheduler(cores, HMPParams())
+        task = make_task(load=650.0)
+        cores[0].enqueue(task)
+        assert hmp.tick(cores) == 0
+        assert task.core_id == 0
+
+    def test_down_migration_below_threshold(self):
+        cores = make_cores()
+        hmp = HMPScheduler(cores, HMPParams())
+        task = make_task(load=100.0)
+        cores[2].enqueue(task)
+        assert hmp.tick(cores) == 1
+        assert task.core_id in (0, 1)
+
+    def test_no_down_migration_in_band(self):
+        cores = make_cores()
+        hmp = HMPScheduler(cores, HMPParams())
+        task = make_task(load=500.0)
+        cores[2].enqueue(task)
+        assert hmp.tick(cores) == 0
+        assert task.core_id == 2
+
+    def test_thresholds_respected(self):
+        cores = make_cores()
+        hmp = HMPScheduler(cores, HMPParams(up_threshold=550, down_threshold=100))
+        task = make_task(load=600.0)  # above the aggressive up-threshold
+        cores[0].enqueue(task)
+        assert hmp.tick(cores) == 1
+
+    def test_sleeping_tasks_not_migrated(self):
+        cores = make_cores()
+        hmp = HMPScheduler(cores, HMPParams())
+        task = make_task(load=900.0)
+        cores[0].enqueue(task)
+        task.state = TaskState.SLEEPING
+        assert hmp.tick(cores) == 0
+
+    def test_big_stays_when_no_little_enabled(self):
+        cores = make_cores(enabled_little=[False, False])
+        hmp = HMPScheduler(cores, HMPParams())
+        task = make_task(load=10.0)
+        cores[2].enqueue(task)
+        assert hmp.tick(cores) == 0
+        assert task.core_id == 2
+
+
+class TestBalance:
+    def test_least_and_most_loaded(self):
+        cores = make_cores(n_little=3, n_big=0)
+        cores[1].enqueue(make_task("a"))
+        cores[1].enqueue(make_task("b"))
+        assert least_loaded(cores).core_id in (0, 2)
+        assert most_loaded(cores).core_id == 1
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            least_loaded([])
+        with pytest.raises(ValueError):
+            most_loaded([])
+
+    def test_balance_moves_excess(self):
+        cores = make_cores(n_little=2, n_big=0)
+        for i in range(4):
+            cores[0].enqueue(make_task(f"t{i}"))
+        moves = balance_cluster(cores)
+        assert moves == 2
+        assert cores[0].nr_running() == 2
+        assert cores[1].nr_running() == 2
+
+    def test_balance_leaves_near_equal_queues(self):
+        cores = make_cores(n_little=2, n_big=0)
+        cores[0].enqueue(make_task("a"))
+        cores[1].enqueue(make_task("b"))
+        assert balance_cluster(cores) == 0
+
+    def test_balance_single_core_noop(self):
+        cores = make_cores(n_little=1, n_big=0)
+        cores[0].enqueue(make_task("a"))
+        assert balance_cluster(cores) == 0
+
+    def test_balance_moves_lightest_task(self):
+        cores = make_cores(n_little=2, n_big=0)
+        heavy = make_task("heavy", load=800.0)
+        light = make_task("light", load=50.0)
+        mid = make_task("mid", load=400.0)
+        for t in (heavy, light, mid):
+            cores[0].enqueue(t)
+        balance_cluster(cores)
+        assert light.core_id == 1
+        assert heavy.core_id == 0
+
+    def test_max_moves_bound(self):
+        cores = make_cores(n_little=2, n_big=0)
+        for i in range(40):
+            cores[0].enqueue(make_task(f"t{i}"))
+        assert balance_cluster(cores, max_moves=5) == 5

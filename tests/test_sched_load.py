@@ -1,0 +1,93 @@
+"""Tests for the geometric load tracker (paper Algorithm 1 core)."""
+
+import pytest
+
+from repro.sched.load import LoadTracker, decay_per_tick
+from repro.units import LOAD_SCALE
+
+
+class TestDecayFactor:
+    def test_halflife_semantics(self):
+        # After exactly one half-life of ticks the weight is 50%.
+        d = decay_per_tick(32.0)
+        assert d**32 == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_halflife(self):
+        with pytest.raises(ValueError):
+            decay_per_tick(0.0)
+
+
+class TestLoadTracker:
+    def test_converges_to_constant_sample(self):
+        tracker = LoadTracker(halflife_ms=32)
+        for _ in range(500):
+            tracker.update(700.0)
+        assert tracker.value == pytest.approx(700.0, abs=0.5)
+
+    def test_paper_weighting_32ms_ago_counts_half(self):
+        """A 1ms load from 32ms ago is weighted 50% relative to now."""
+        tracker = LoadTracker(halflife_ms=32)
+        tracker.update(LOAD_SCALE)
+        peak = tracker.value
+        for _ in range(32):
+            tracker.update(0.0)
+        assert tracker.value == pytest.approx(peak * 0.5, rel=1e-6)
+
+    def test_double_weight_decays_slower(self):
+        # Saturate both trackers, then let them age: the longer
+        # half-life (the paper's "2x history weight") retains more.
+        fast = LoadTracker(halflife_ms=16, initial=float(LOAD_SCALE))
+        slow = LoadTracker(halflife_ms=64, initial=float(LOAD_SCALE))
+        fast.decay(16)
+        slow.decay(16)
+        assert fast.value == pytest.approx(LOAD_SCALE / 2)
+        assert fast.value < slow.value
+
+    def test_shorter_halflife_reacts_faster(self):
+        fast = LoadTracker(halflife_ms=16)
+        slow = LoadTracker(halflife_ms=64)
+        for _ in range(8):
+            fast.update(LOAD_SCALE)
+            slow.update(LOAD_SCALE)
+        assert fast.value > slow.value
+
+    def test_sleep_decay_matches_explicit_zero_samples(self):
+        """decay(k) equals k updates of 0 (no-sample aging)."""
+        a = LoadTracker(halflife_ms=32, initial=800.0)
+        b = LoadTracker(halflife_ms=32, initial=800.0)
+        a.decay(50)
+        for _ in range(50):
+            b.update(0.0)
+        assert a.value == pytest.approx(b.value)
+
+    def test_duty_cycle_convergence(self):
+        """A task busy 30% of the time converges to ~30% load — the
+        property that makes utilization-based scheduling work."""
+        tracker = LoadTracker(halflife_ms=32)
+        for _ in range(300):  # 300 cycles of 3ms busy / 7ms sleep
+            for _ in range(3):
+                tracker.update(LOAD_SCALE)
+            tracker.decay(7)
+        assert tracker.value / LOAD_SCALE == pytest.approx(0.3, abs=0.12)
+
+    def test_bounds_enforced(self):
+        tracker = LoadTracker()
+        with pytest.raises(ValueError):
+            tracker.update(-1.0)
+        with pytest.raises(ValueError):
+            tracker.update(LOAD_SCALE + 1)
+        with pytest.raises(ValueError):
+            tracker.decay(-1)
+        with pytest.raises(ValueError):
+            LoadTracker(initial=2000.0)
+
+    def test_reset(self):
+        tracker = LoadTracker(initial=500.0)
+        tracker.reset(100.0)
+        assert tracker.value == 100.0
+
+    def test_value_never_exceeds_scale(self):
+        tracker = LoadTracker()
+        for _ in range(1000):
+            tracker.update(LOAD_SCALE)
+        assert tracker.value <= LOAD_SCALE

@@ -1,0 +1,83 @@
+"""Tests for scheduler/governor parameter presets."""
+
+import pytest
+
+from repro.sched.params import (
+    GovernorParams,
+    HMPParams,
+    baseline_config,
+    variant_configs,
+)
+
+
+class TestHMPParams:
+    def test_defaults_match_paper(self):
+        p = HMPParams()
+        assert p.up_threshold == 700
+        assert p.down_threshold == 256
+        assert p.history_halflife_ms == 32.0
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            HMPParams(up_threshold=200, down_threshold=300)
+
+    def test_rejects_out_of_scale(self):
+        with pytest.raises(ValueError):
+            HMPParams(up_threshold=2000, down_threshold=256)
+
+    def test_rejects_bad_halflife(self):
+        with pytest.raises(ValueError):
+            HMPParams(history_halflife_ms=0)
+
+
+class TestGovernorParams:
+    def test_defaults_match_paper(self):
+        p = GovernorParams()
+        assert p.sampling_ms == 20
+        assert p.target_load == pytest.approx(0.70)
+
+    def test_rejects_bad_sampling(self):
+        with pytest.raises(ValueError):
+            GovernorParams(sampling_ms=0)
+
+    def test_rejects_down_above_target(self):
+        with pytest.raises(ValueError):
+            GovernorParams(target_load=0.5, down_threshold=0.6)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            GovernorParams(target_load=1.5)
+
+
+class TestVariantConfigs:
+    def test_eight_variants_in_paper_order(self):
+        names = [c.name for c in variant_configs()]
+        assert names == [
+            "interval-60",
+            "interval-100",
+            "target-high-80",
+            "target-low-60",
+            "hmp-conservative",
+            "hmp-aggressive",
+            "weight-2x",
+            "weight-half",
+        ]
+
+    def test_variant_values_match_paper(self):
+        by_name = {c.name: c for c in variant_configs()}
+        assert by_name["interval-60"].governor.sampling_ms == 60
+        assert by_name["interval-100"].governor.sampling_ms == 100
+        assert by_name["target-high-80"].governor.target_load == pytest.approx(0.80)
+        assert by_name["target-low-60"].governor.target_load == pytest.approx(0.60)
+        assert by_name["hmp-conservative"].hmp.up_threshold == 850
+        assert by_name["hmp-conservative"].hmp.down_threshold == 400
+        assert by_name["hmp-aggressive"].hmp.up_threshold == 550
+        assert by_name["hmp-aggressive"].hmp.down_threshold == 100
+        assert by_name["weight-2x"].hmp.history_halflife_ms == 64.0
+        assert by_name["weight-half"].hmp.history_halflife_ms == 16.0
+
+    def test_governor_variants_keep_baseline_hmp(self):
+        base = baseline_config()
+        by_name = {c.name: c for c in variant_configs()}
+        assert by_name["interval-60"].hmp == base.hmp
+        assert by_name["weight-2x"].governor == base.governor

@@ -1,0 +1,119 @@
+"""Tests for JSON serialization and the schedutil governor."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.platform.coretypes import CoreType, cortex_a7
+from repro.platform.opp import little_opp_table
+from repro.sched.governor import ClusterFreqDomain, SchedutilGovernor
+from repro.sched.load import LoadTracker
+from repro.sim.core import SimCore
+from repro.sim.task import Task, TaskState
+from repro.platform.perfmodel import COMPUTE_BOUND
+from repro.experiments.serialize import dump_result, to_jsonable
+
+TICK_S = 0.001
+
+
+class TestToJsonable:
+    def test_primitives_pass_through(self):
+        assert to_jsonable(5) == 5
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+
+    def test_numpy_scalars_and_arrays(self):
+        assert to_jsonable(np.float32(1.5)) == pytest.approx(1.5)
+        assert to_jsonable(np.int64(7)) == 7
+        assert to_jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_enum_keys_and_values(self):
+        data = {CoreType.LITTLE: {500_000: 1.0}}
+        assert to_jsonable(data) == {"little": {"500000": 1.0}}
+
+    def test_dataclasses(self):
+        @dataclasses.dataclass
+        class Point:
+            x: float
+            y: dict
+
+        assert to_jsonable(Point(1.0, {CoreType.BIG: 2})) == {
+            "x": 1.0, "y": {"big": 2},
+        }
+
+    def test_real_experiment_result_roundtrips(self):
+        from repro.experiments.fig02_03_spec import run_spec_comparison
+        from repro.workloads.spec import spec_benchmark
+
+        result = run_spec_comparison(benchmarks=[spec_benchmark("hmmer")])
+        payload = to_jsonable(result)
+        text = json.dumps(payload)  # must not raise
+        assert "hmmer" in text
+
+    def test_dump_result(self, tmp_path):
+        @dataclasses.dataclass
+        class R:
+            values: dict
+
+        path = str(tmp_path / "r.json")
+        dump_result(R({"a": np.float64(2.0)}), path)
+        with open(path) as f:
+            assert json.load(f) == {"values": {"a": 2.0}}
+
+
+class TestSchedutil:
+    def make_domain(self):
+        table = little_opp_table()
+        cores = [SimCore(0, cortex_a7(), True, table.max_khz)]
+        return ClusterFreqDomain(CoreType.LITTLE, table, cores), cores
+
+    def enqueue_task_with_load(self, core, load):
+        def behavior(ctx):
+            yield  # pragma: no cover
+
+        task = Task("t", behavior, COMPUTE_BOUND)
+        task.load = LoadTracker(initial=load)
+        task.state = TaskState.RUNNABLE
+        core.enqueue(task)
+        return task
+
+    def test_tracks_runqueue_load(self):
+        domain, cores = self.make_domain()
+        gov = SchedutilGovernor()
+        gov.start(domain)
+        task = self.enqueue_task_with_load(cores[0], 512.0)
+        gov.tick(domain, 0, TICK_S)
+        expected = domain.opp_table.ceil(int(1.25 * 0.5 * domain.opp_table.max_khz))
+        assert domain.freq_khz == expected
+
+    def test_raises_immediately_lowers_after_hold(self):
+        domain, cores = self.make_domain()
+        gov = SchedutilGovernor(down_hold_ms=20)
+        gov.start(domain)
+        task = self.enqueue_task_with_load(cores[0], 1024.0)
+        gov.tick(domain, 0, TICK_S)
+        assert domain.freq_khz == domain.opp_table.max_khz
+        task.load.reset(100.0)
+        for t in range(10):
+            gov.tick(domain, t, TICK_S)
+        assert domain.freq_khz == domain.opp_table.max_khz  # held
+        for t in range(30):
+            gov.tick(domain, t, TICK_S)
+        assert domain.freq_khz < domain.opp_table.max_khz
+
+    def test_idle_runqueue_falls_to_min(self):
+        domain, cores = self.make_domain()
+        gov = SchedutilGovernor(down_hold_ms=0)
+        gov.start(domain)
+        domain.set_freq(domain.opp_table.max_khz)
+        gov.tick(domain, 0, TICK_S)
+        assert domain.freq_khz == domain.opp_table.min_khz
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SchedutilGovernor(headroom=0.5)
+        with pytest.raises(ValueError):
+            SchedutilGovernor(down_hold_ms=-1)

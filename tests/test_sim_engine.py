@@ -1,0 +1,199 @@
+"""Tests for the simulation engine: execution, sharing, migration, power."""
+
+import pytest
+
+from repro.platform.chip import CoreConfig, exynos5422
+from repro.platform.coretypes import CoreType
+from repro.platform.perfmodel import COMPUTE_BOUND
+from repro.sched.governor import PerformanceGovernor
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.task import Sleep, Task, TaskState, Work
+
+
+def spin_forever(ctx):
+    while True:
+        yield Work(1.0)
+
+
+def make_sim(**kwargs) -> Simulator:
+    kwargs.setdefault("max_seconds", 3.0)
+    return Simulator(SimConfig(**kwargs))
+
+
+def performance_governors():
+    return {
+        CoreType.LITTLE: PerformanceGovernor(),
+        CoreType.BIG: PerformanceGovernor(),
+    }
+
+
+class TestConfig:
+    def test_default_enables_all_cores(self):
+        sim = make_sim()
+        assert sum(c.enabled for c in sim.cores) == 8
+
+    def test_core_config_limits_enabled(self):
+        sim = make_sim(core_config=CoreConfig(2, 1))
+        little = [c for c in sim.cores if c.core_type is CoreType.LITTLE and c.enabled]
+        big = [c for c in sim.cores if c.core_type is CoreType.BIG and c.enabled]
+        assert (len(little), len(big)) == (2, 1)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            SimConfig(max_seconds=0)
+
+    def test_oversized_config_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(core_config=CoreConfig(9, 0))
+
+
+class TestExecution:
+    def test_single_spinner_saturates_one_core(self):
+        sim = make_sim(governors=performance_governors(), max_seconds=1.0)
+        sim.spawn(Task("spin", spin_forever, COMPUTE_BOUND, initial_load=1024.0))
+        trace = sim.run()
+        busiest = trace.busy.mean(axis=1).max()
+        assert busiest == pytest.approx(1.0, abs=0.01)
+
+    def test_processor_sharing_two_spinners_one_core(self):
+        sim = make_sim(
+            core_config=CoreConfig(1, 0),
+            governors=performance_governors(),
+            max_seconds=1.0,
+        )
+        t1 = Task("a", spin_forever, COMPUTE_BOUND)
+        t2 = Task("b", spin_forever, COMPUTE_BOUND)
+        sim.spawn(t1)
+        sim.spawn(t2)
+        sim.run()
+        # Both make ~equal progress on the single shared core.
+        assert t1.total_busy_s == pytest.approx(t2.total_busy_s, rel=0.05)
+        assert t1.total_busy_s + t2.total_busy_s == pytest.approx(1.0, abs=0.02)
+
+    def test_stop_request_halts_run(self):
+        sim = make_sim(max_seconds=10.0)
+
+        def behavior(ctx):
+            yield Work(0.001)
+            ctx.request_stop()
+
+        sim.spawn(Task("t", behavior, COMPUTE_BOUND))
+        trace = sim.run()
+        assert trace.duration_s < 1.0
+
+    def test_run_ends_when_all_tasks_finish(self):
+        sim = make_sim(max_seconds=10.0)
+
+        def behavior(ctx):
+            yield Work(0.005)
+
+        sim.spawn(Task("t", behavior, COMPUTE_BOUND))
+        trace = sim.run()
+        assert trace.duration_s < 1.0
+
+    def test_disabled_cores_never_execute(self):
+        sim = make_sim(core_config=CoreConfig(1, 0), max_seconds=0.5)
+        sim.spawn(Task("spin", spin_forever, COMPUTE_BOUND))
+        trace = sim.run()
+        assert trace.busy[1:].sum() == 0.0
+
+
+class TestHMPMigration:
+    def test_heavy_task_migrates_to_big(self):
+        sim = make_sim(max_seconds=2.0)
+        sim.spawn(Task("heavy", spin_forever, COMPUTE_BOUND))
+        trace = sim.run()
+        big_rows = trace.cores_of_type(CoreType.BIG)
+        # After the governor ramps and load accumulates, the spinner
+        # ends up on a big core for the bulk of the run.
+        second_half = trace.busy[big_rows, len(trace) // 2 :]
+        assert second_half.sum(axis=0).mean() > 0.9
+
+    def test_light_task_stays_on_little(self):
+        sim = make_sim(max_seconds=3.0)
+
+        def light(ctx):
+            while True:
+                yield Work(0.002)  # ~2ms every 50ms: ~4% duty
+                yield Sleep(0.05)
+
+        sim.spawn(Task("light", light, COMPUTE_BOUND))
+        trace = sim.run()
+        big_rows = trace.cores_of_type(CoreType.BIG)
+        assert trace.busy[big_rows].sum() == 0.0
+
+    def test_no_big_cores_keeps_heavy_on_little(self):
+        sim = make_sim(core_config=CoreConfig(4, 0), max_seconds=1.0)
+        task = Task("heavy", spin_forever, COMPUTE_BOUND, initial_load=1024.0)
+        sim.spawn(task)
+        trace = sim.run()
+        big_rows = trace.cores_of_type(CoreType.BIG)
+        assert trace.busy[big_rows].sum() == 0.0
+
+    def test_big_only_config_runs_everything_on_big(self):
+        sim = make_sim(core_config=CoreConfig(0, 4), max_seconds=1.0)
+
+        def light(ctx):
+            while True:
+                yield Work(0.001)
+                yield Sleep(0.02)
+
+        sim.spawn(Task("light", light, COMPUTE_BOUND))
+        trace = sim.run()
+        little_rows = trace.cores_of_type(CoreType.LITTLE)
+        big_rows = trace.cores_of_type(CoreType.BIG)
+        assert trace.busy[little_rows].sum() == 0.0
+        assert trace.busy[big_rows].sum() > 0.0
+
+    def test_migration_counted(self):
+        sim = make_sim(max_seconds=2.0)
+        task = Task("heavy", spin_forever, COMPUTE_BOUND)
+        sim.spawn(task)
+        sim.run()
+        assert task.migrations >= 1
+
+
+class TestDeterminism:
+    def _run_once(self, seed):
+        sim = make_sim(max_seconds=1.0, seed=seed)
+
+        def jittery(ctx):
+            while True:
+                yield Work(ctx.rng.lognormal(0.003, 0.5))
+                yield Sleep(ctx.rng.uniform(0.005, 0.02))
+
+        sim.spawn(Task("a", jittery, COMPUTE_BOUND))
+        sim.spawn(Task("b", jittery, COMPUTE_BOUND))
+        trace = sim.run()
+        return trace.busy.sum(), trace.average_power_mw()
+
+    def test_same_seed_reproduces_exactly(self):
+        assert self._run_once(11) == self._run_once(11)
+
+    def test_different_seed_differs(self):
+        assert self._run_once(11) != self._run_once(12)
+
+
+class TestPowerAccounting:
+    def test_power_positive_and_bounded(self):
+        sim = make_sim(max_seconds=0.5)
+        sim.spawn(Task("spin", spin_forever, COMPUTE_BOUND))
+        trace = sim.run()
+        assert (trace.power_mw > 0).all()
+        assert trace.power_mw.max() < 10_000
+
+    def test_idle_system_draws_base_power(self):
+        sim = make_sim(max_seconds=0.2)
+        trace = sim.run()
+        pm = exynos5422().power_model
+        # Idle cores still leak (notably the big cluster), but the total
+        # stays well below one busy little core's worth above base.
+        assert trace.average_power_mw() < 2.5 * pm.params.base_mw
+
+    def test_busy_draws_more_than_idle(self):
+        idle_sim = make_sim(max_seconds=0.3, seed=1)
+        idle_power = idle_sim.run().average_power_mw()
+        busy_sim = make_sim(max_seconds=0.3, seed=1)
+        busy_sim.spawn(Task("spin", spin_forever, COMPUTE_BOUND))
+        busy_power = busy_sim.run().average_power_mw()
+        assert busy_power > idle_power

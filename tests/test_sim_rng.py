@@ -1,0 +1,63 @@
+"""Tests for deterministic RNG streams."""
+
+import pytest
+
+from repro.sim.rng import RngStream
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = RngStream(42)
+        b = RngStream(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        assert RngStream(1).random() != RngStream(2).random()
+
+    def test_split_streams_are_independent(self):
+        root = RngStream(42)
+        x = root.split("x")
+        # Drawing from one split must not perturb a sibling.
+        before = RngStream(42).split("y").random()
+        for _ in range(100):
+            x.random()
+        after = root.split("y").random()
+        assert before == after
+
+    def test_split_is_deterministic(self):
+        assert RngStream(7).split("a").random() == RngStream(7).split("a").random()
+
+    def test_nested_splits_distinct(self):
+        root = RngStream(7)
+        assert root.split("a").split("b").random() != root.split("a/b2").random()
+
+
+class TestDistributions:
+    def test_uniform_in_range(self):
+        rng = RngStream(1)
+        for _ in range(100):
+            assert 2.0 <= rng.uniform(2.0, 3.0) <= 3.0
+
+    def test_lognormal_mean_parameterization(self):
+        rng = RngStream(1)
+        samples = [rng.lognormal(10.0, 0.5) for _ in range(20_000)]
+        mean = sum(samples) / len(samples)
+        # `mean` parameter is the linear-space expectation.
+        assert mean == pytest.approx(10.0, rel=0.05)
+
+    def test_lognormal_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            RngStream(1).lognormal(0.0, 0.5)
+
+    def test_lognormal_positive(self):
+        rng = RngStream(3)
+        assert all(rng.lognormal(1.0, 1.0) > 0 for _ in range(100))
+
+    def test_expovariate_positive(self):
+        rng = RngStream(4)
+        assert all(rng.expovariate(10.0) > 0 for _ in range(100))
+
+    def test_randint_bounds(self):
+        rng = RngStream(5)
+        values = {rng.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}

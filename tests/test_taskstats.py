@@ -1,0 +1,85 @@
+"""Tests for the per-task statistics collector."""
+
+import pytest
+
+from repro.core.taskstats import TaskStatsCollector
+from repro.platform.chip import CoreConfig
+from repro.platform.perfmodel import COMPUTE_BOUND
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.task import Sleep, Task, Work
+
+
+def spin(ctx):
+    while True:
+        yield Work(1.0)
+
+
+def light(ctx):
+    while True:
+        yield Work(0.001)
+        yield Sleep(0.03)
+
+
+class TestTaskStatsCollector:
+    def test_accounts_cpu_time(self):
+        sim = Simulator(SimConfig(max_seconds=1.0))
+        stats = TaskStatsCollector.attach(sim)
+        task = Task("spin", spin, COMPUTE_BOUND)
+        sim.spawn(task)
+        sim.run()
+        s = stats.by_name("spin")
+        assert s.busy_s == pytest.approx(task.total_busy_s, rel=1e-6)
+        assert s.busy_s == pytest.approx(1.0, abs=0.02)
+
+    def test_big_share_for_heavy_task(self):
+        sim = Simulator(SimConfig(max_seconds=2.0))
+        stats = TaskStatsCollector.attach(sim)
+        sim.spawn(Task("spin", spin, COMPUTE_BOUND))
+        sim.run()
+        s = stats.by_name("spin")
+        assert s.big_share > 0.5
+        assert s.migrations >= 1
+        assert s.max_load > 700
+
+    def test_little_share_for_light_task(self):
+        sim = Simulator(SimConfig(max_seconds=2.0))
+        stats = TaskStatsCollector.attach(sim)
+        sim.spawn(Task("light", light, COMPUTE_BOUND))
+        sim.run()
+        s = stats.by_name("light")
+        assert s.big_share == 0.0
+        assert s.mean_load < 300
+
+    def test_ordering_and_consumers(self):
+        sim = Simulator(SimConfig(max_seconds=1.5))
+        stats = TaskStatsCollector.attach(sim)
+        sim.spawn(Task("spin", spin, COMPUTE_BOUND))
+        sim.spawn(Task("light", light, COMPUTE_BOUND))
+        sim.run()
+        ordered = stats.stats()
+        assert ordered[0].name == "spin"
+        consumers = stats.big_core_consumers()
+        assert [s.name for s in consumers] == ["spin"]
+
+    def test_unknown_task_raises(self):
+        sim = Simulator(SimConfig(max_seconds=0.1))
+        stats = TaskStatsCollector.attach(sim)
+        sim.run()
+        with pytest.raises(KeyError):
+            stats.by_name("ghost")
+
+    def test_render_contains_tasks(self):
+        sim = Simulator(SimConfig(max_seconds=0.5))
+        stats = TaskStatsCollector.attach(sim)
+        sim.spawn(Task("spin", spin, COMPUTE_BOUND))
+        sim.run()
+        assert "spin" in stats.render()
+
+    def test_total_busy_matches_trace(self):
+        sim = Simulator(SimConfig(max_seconds=1.0, core_config=CoreConfig(2, 0)))
+        stats = TaskStatsCollector.attach(sim)
+        sim.spawn(Task("a", spin, COMPUTE_BOUND))
+        sim.spawn(Task("b", light, COMPUTE_BOUND))
+        trace = sim.run()
+        trace_busy = float(trace.busy.sum()) * trace.tick_s
+        assert stats.total_busy_s() == pytest.approx(trace_busy, rel=0.01)

@@ -1,0 +1,99 @@
+"""Tests for the thermal model and engine integration."""
+
+import pytest
+
+from repro.platform.chip import CoreConfig, exynos5422
+from repro.platform.coretypes import CoreType
+from repro.platform.perfmodel import COMPUTE_BOUND
+from repro.platform.thermal import ThermalModel, ThermalParams
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.task import Task, Work
+
+BIG_OPPS = exynos5422().big_cluster.opp_table.frequencies_khz
+
+
+class TestThermalParams:
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ValueError):
+            ThermalParams(tau_s=0)
+
+    def test_rejects_release_above_trip(self):
+        with pytest.raises(ValueError):
+            ThermalParams(trip_c=70, release_c=75)
+
+    def test_rejects_bad_eval(self):
+        with pytest.raises(ValueError):
+            ThermalParams(eval_ms=0)
+
+
+class TestThermalModel:
+    def test_starts_at_ambient_uncapped(self):
+        model = ThermalModel(ThermalParams(), BIG_OPPS)
+        assert model.temperature_c == pytest.approx(30.0)
+        assert model.cap_khz == max(BIG_OPPS)
+        assert not model.throttled
+
+    def test_temperature_approaches_steady_state(self):
+        params = ThermalParams(trip_c=500, release_c=400)  # never trips
+        model = ThermalModel(params, BIG_OPPS)
+        for _ in range(100_000):
+            model.step(2000.0, 0.001)
+        steady = params.ambient_c + 2.0 * params.r_thermal_c_per_w
+        assert model.temperature_c == pytest.approx(steady, abs=0.5)
+
+    def test_trips_under_sustained_power(self):
+        model = ThermalModel(ThermalParams(), BIG_OPPS)
+        for _ in range(30_000):
+            model.step(6000.0, 0.001)
+        assert model.throttled
+        assert model.cap_khz < max(BIG_OPPS)
+        assert model.throttle_events >= 1
+
+    def test_recovers_when_cool(self):
+        model = ThermalModel(ThermalParams(), BIG_OPPS)
+        for _ in range(30_000):
+            model.step(6000.0, 0.001)
+        assert model.throttled
+        for _ in range(60_000):
+            model.step(300.0, 0.001)
+        assert not model.throttled
+        assert model.cap_khz == max(BIG_OPPS)
+
+    def test_cap_steps_one_opp_per_eval(self):
+        params = ThermalParams(eval_ms=100)
+        model = ThermalModel(params, BIG_OPPS)
+        model.temperature_c = params.trip_c + 10
+        # One evaluation period at enormous power: exactly one step.
+        for _ in range(100):
+            model.step(10_000.0, 0.001)
+        assert model.cap_khz == BIG_OPPS[-2]
+
+    def test_rejects_empty_opps(self):
+        with pytest.raises(ValueError):
+            ThermalModel(ThermalParams(), ())
+
+
+class TestEngineIntegration:
+    def spin(self, ctx):
+        while True:
+            yield Work(1.0)
+
+    def test_sustained_load_throttles_big_cluster(self):
+        config = SimConfig(
+            chip=exynos5422(),
+            core_config=CoreConfig(little=1, big=4),
+            thermal=ThermalParams(),
+            max_seconds=25.0,
+        )
+        sim = Simulator(config)
+        for i in range(4):
+            sim.spawn(Task(f"spin{i}", self.spin, COMPUTE_BOUND, initial_load=1024.0))
+        trace = sim.run()
+        big_freq = trace.freq_khz(CoreType.BIG)
+        assert big_freq[:500].max() == 1_900_000  # starts unthrottled
+        assert big_freq[-1000:].mean() < 1_500_000  # sags under heat
+        assert sim.thermal is not None and sim.thermal.throttled
+
+    def test_disabled_by_default(self):
+        sim = Simulator(SimConfig(max_seconds=0.1))
+        assert sim.thermal is None

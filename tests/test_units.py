@@ -1,0 +1,48 @@
+"""Tests for unit conventions and conversions."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_khz_to_ghz(self):
+        assert units.khz_to_ghz(1_300_000) == pytest.approx(1.3)
+
+    def test_ghz_to_khz_roundtrip(self):
+        assert units.ghz_to_khz(1.9) == 1_900_000
+        assert units.khz_to_ghz(units.ghz_to_khz(0.5)) == pytest.approx(0.5)
+
+    def test_ms_to_ticks(self):
+        assert units.ms_to_ticks(0) == 0
+        assert units.ms_to_ticks(1) == 1
+        assert units.ms_to_ticks(20) == 20
+
+    def test_ms_to_ticks_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.ms_to_ticks(-1)
+
+    def test_seconds_to_ticks(self):
+        assert units.seconds_to_ticks(1.0) == 1000
+        assert units.seconds_to_ticks(0.5) == 500
+
+    def test_ticks_to_seconds_roundtrip(self):
+        assert units.ticks_to_seconds(units.seconds_to_ticks(2.5)) == pytest.approx(2.5)
+
+
+class TestConstants:
+    def test_tick_is_one_ms(self):
+        # The paper's load history granularity.
+        assert units.TICK_MS == 1
+        assert units.TICKS_PER_SECOND == 1000
+
+    def test_reference_frequency_is_little_max(self):
+        assert units.F_REF_KHZ == 1_300_000
+
+    def test_load_scale_matches_kernel_convention(self):
+        # The HMP thresholds 700/256 are expressed on this scale.
+        assert units.LOAD_SCALE == 1024
+
+    def test_sampling_intervals_match_paper(self):
+        assert units.TLP_SAMPLE_MS == 10
+        assert units.GOVERNOR_SAMPLE_MS == 20

@@ -1,0 +1,181 @@
+"""Tests for the generic app-building machinery."""
+
+import pytest
+
+from repro.platform.perfmodel import COMPUTE_BOUND
+from repro.sim.engine import SimConfig, Simulator
+from repro.workloads.base import (
+    ActionSpec,
+    App,
+    BackgroundSpec,
+    FramePipelineSpec,
+    Metric,
+    PeriodicSpec,
+)
+
+
+class MinimalApp(App):
+    def __init__(self, metric=Metric.LATENCY, **kwargs):
+        super().__init__("test-app", metric, COMPUTE_BOUND, **kwargs)
+        self.built = False
+
+    def build(self, sim):
+        self.built = True
+
+
+def make_sim(max_seconds=5.0, seed=0):
+    return Simulator(SimConfig(max_seconds=max_seconds, seed=seed))
+
+
+class TestAppContainer:
+    def test_install_calls_build_once(self):
+        app = MinimalApp()
+        sim = make_sim()
+        app.install(sim)
+        assert app.built
+        with pytest.raises(RuntimeError):
+            app.install(sim)
+
+    def test_ambient_threads_spawned(self):
+        app = MinimalApp(ambient_ui_duty=0.5, ambient_bg_interval_ms=100)
+        sim = make_sim()
+        app.install(sim)
+        names = {t.name for t in sim.tasks}
+        assert "test-app/sys/surfaceflinger" in names
+        assert "test-app/ui-anim" in names
+        assert "test-app/sys/services" in names
+
+    def test_ambient_disabled(self):
+        app = MinimalApp(ambient_ui_duty=0.0, ambient_bg_interval_ms=0.0)
+        sim = make_sim()
+        app.install(sim)
+        assert sim.tasks == []
+
+    def test_metric_guards(self):
+        lat = MinimalApp(Metric.LATENCY)
+        fps = MinimalApp(Metric.FPS)
+        with pytest.raises(ValueError):
+            lat.avg_fps()
+        with pytest.raises(ValueError):
+            lat.min_fps()
+        with pytest.raises(ValueError):
+            fps.latency_s()
+
+
+class TestDriver:
+    def run_driver(self, actions, n_workers=2, max_seconds=20.0):
+        app = MinimalApp(ambient_ui_duty=0, ambient_bg_interval_ms=0)
+        sim = make_sim(max_seconds=max_seconds)
+        app.install(sim)
+        app.add_driver(sim, actions, n_workers=n_workers)
+        trace = sim.run()
+        return app, trace
+
+    def test_actions_logged_in_order(self):
+        actions = [
+            ActionSpec("first", main_units=0.005, worker_units=0.002, think_ms=10),
+            ActionSpec("second", main_units=0.005, worker_units=0.002, think_ms=10),
+        ]
+        app, _ = self.run_driver(actions)
+        assert [name for name, _, _ in app.logs.actions] == ["first", "second"]
+
+    def test_action_latency_positive_and_excludes_think(self):
+        actions = [ActionSpec("a", main_units=0.01, worker_units=0.0, think_ms=5000)]
+        app, trace = self.run_driver(actions, n_workers=0)
+        # Latency counts only the action, not the 5s think.
+        assert 0.0 < app.latency_s() < 1.0
+
+    def test_driver_stops_simulation(self):
+        actions = [ActionSpec("a", main_units=0.005, worker_units=0.0, think_ms=0)]
+        _, trace = self.run_driver(actions, n_workers=0)
+        assert trace.duration_s < 5.0
+
+    def test_io_extends_latency(self):
+        fast = [ActionSpec("a", main_units=0.005, worker_units=0.0, io_ms=0, think_ms=0)]
+        slow = [ActionSpec("a", main_units=0.005, worker_units=0.0, io_ms=200, think_ms=0)]
+        app_fast, _ = self.run_driver(fast, n_workers=0)
+        app_slow, _ = self.run_driver(slow, n_workers=0)
+        assert app_slow.latency_s() > app_fast.latency_s() + 0.15
+
+    def test_workers_participate(self):
+        actions = [ActionSpec("a", main_units=0.002, worker_units=0.05, think_ms=0)]
+        app = MinimalApp(ambient_ui_duty=0, ambient_bg_interval_ms=0)
+        sim = make_sim(max_seconds=20.0)
+        app.install(sim)
+        app.add_driver(sim, actions, n_workers=3)
+        sim.run()
+        workers = [t for t in sim.tasks if "worker" in t.name]
+        assert len(workers) == 3
+        assert all(w.total_busy_s > 0 for w in workers)
+
+
+class TestFramePipeline:
+    def run_pipeline(self, spec, seconds=4.0):
+        app = MinimalApp(Metric.FPS, ambient_ui_duty=0, ambient_bg_interval_ms=0)
+        sim = make_sim(max_seconds=seconds)
+        app.install(sim)
+        app.add_frame_pipeline(sim, spec)
+        trace = sim.run()
+        return app, trace
+
+    def test_light_pipeline_hits_60fps(self):
+        app, _ = self.run_pipeline(FramePipelineSpec(
+            logic_units=0.001, render_units=0.001, units_sigma=0.05))
+        assert app.avg_fps() == pytest.approx(60.0, abs=2.0)
+
+    def test_content_rate_limits_fps(self):
+        app, _ = self.run_pipeline(FramePipelineSpec(
+            logic_units=0.001, render_units=0.001, units_sigma=0.05, fps=30))
+        assert app.avg_fps() == pytest.approx(30.0, abs=2.0)
+
+    def test_heavy_pipeline_misses_frames(self):
+        # Render work beyond what even a big core fits in a vsync: the
+        # pipeline is stage-throughput-bound and drops below 60 fps.
+        app, _ = self.run_pipeline(FramePipelineSpec(
+            logic_units=0.012, render_units=0.060, units_sigma=0.05))
+        assert app.avg_fps() < 50.0
+
+    def test_helpers_spawned_and_used(self):
+        app = MinimalApp(Metric.FPS, ambient_ui_duty=0, ambient_bg_interval_ms=0)
+        sim = make_sim(max_seconds=3.0)
+        app.install(sim)
+        app.add_frame_pipeline(sim, FramePipelineSpec(
+            logic_units=0.001, render_units=0.001, helpers=2))
+        sim.run()
+        helpers = [t for t in sim.tasks if "frame-helper" in t.name]
+        assert len(helpers) == 2
+        assert all(h.total_busy_s > 0 for h in helpers)
+
+    def test_min_fps_at_most_avg(self):
+        app, _ = self.run_pipeline(FramePipelineSpec(
+            logic_units=0.004, render_units=0.006, units_sigma=0.4), seconds=6.0)
+        assert app.min_fps() <= app.avg_fps() + 1e-9
+
+
+class TestPeriodicAndBackground:
+    def test_periodic_respects_period(self):
+        app = MinimalApp(ambient_ui_duty=0, ambient_bg_interval_ms=0)
+        sim = make_sim(max_seconds=2.0)
+        app.install(sim)
+        task = app.add_periodic(sim, PeriodicSpec("p", period_ms=100, units_mean=0.001))
+        trace = sim.run()
+        # ~20 activations of 1ms of work; wall-clock busy is stretched
+        # up to 2.6x because the idle governor parks at 500 MHz.
+        assert 0.015 < task.total_busy_s < 0.08
+
+    def test_duty_prob_skips_periods(self):
+        app = MinimalApp(ambient_ui_duty=0, ambient_bg_interval_ms=0)
+        sim = make_sim(max_seconds=4.0, seed=5)
+        app.install(sim)
+        always = app.add_periodic(sim, PeriodicSpec("a", 20, 0.001, duty_prob=1.0))
+        rarely = app.add_periodic(sim, PeriodicSpec("r", 20, 0.001, duty_prob=0.2))
+        sim.run()
+        assert rarely.total_busy_s < 0.5 * always.total_busy_s
+
+    def test_background_runs_sporadically(self):
+        app = MinimalApp(ambient_ui_duty=0, ambient_bg_interval_ms=0)
+        sim = make_sim(max_seconds=3.0)
+        app.install(sim)
+        task = app.add_background(sim, BackgroundSpec("bg", 100, 0.001))
+        sim.run()
+        assert task.total_busy_s > 0
