@@ -3,13 +3,13 @@
 .PHONY: install test bench artifacts calibrate examples clean
 
 install:
-	python setup.py develop
+	pip install -e .
 
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest tests/ -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
 
 # Regenerate every paper table/figure into results/.
 artifacts:

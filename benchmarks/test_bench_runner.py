@@ -1,0 +1,56 @@
+"""Benchmarks for :mod:`repro.runner`: parallel and warm-cache speedup.
+
+A fig07-style core-config sweep (one app, the seven reduced configs)
+runs three ways — serial inline, sharded across worker processes, and
+against a pre-warmed result cache.  The three timings quantify what the
+batch runner buys: parallel wall-clock scales with cores (on a
+single-CPU machine the parallel case degenerates to serial plus pool
+overhead), and a warm rerun executes zero simulations.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.fig07_08_coreconfig import (
+    CORE_CONFIG_LABELS,
+    coreconfig_specs,
+    run_core_config_sweep,
+)
+from repro.runner import BatchRunner, ResultCache
+
+APP = "video-player"
+WORKERS = min(4, os.cpu_count() or 1)
+
+
+def _sweep(runner=None, workers=1):
+    return run_core_config_sweep(
+        apps=[APP], configs=CORE_CONFIG_LABELS, workers=workers, runner=runner
+    )
+
+
+def test_bench_sweep_serial(benchmark):
+    result = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    assert APP in result.perf_change_pct
+
+
+def test_bench_sweep_parallel(benchmark):
+    result = benchmark.pedantic(
+        _sweep, kwargs={"workers": WORKERS}, rounds=1, iterations=1
+    )
+    assert APP in result.perf_change_pct
+
+
+def test_bench_sweep_warm_cache(benchmark, tmp_path):
+    cache = ResultCache(root=str(tmp_path))
+    # Warm the cache outside the timed region.
+    BatchRunner(workers=WORKERS, cache=cache).run(coreconfig_specs(apps=[APP]))
+
+    def warm():
+        runner = BatchRunner(workers=1, cache=cache)
+        report = runner.run(coreconfig_specs(apps=[APP]))
+        assert report.cache_hits == len(CORE_CONFIG_LABELS) + 1
+        assert report.cache_misses == 0
+        return report
+
+    benchmark.pedantic(warm, rounds=1, iterations=1)

@@ -1,10 +1,17 @@
 """Regenerate every paper artifact and write the rendered outputs to results/.
 
-Run: python scripts/collect_results.py
+Run: python scripts/collect_results.py [--workers N] [--cache-dir DIR] [--no-cache]
+
+The multi-run sweeps (fig07/08, fig11-13) route through
+``repro.runner.BatchRunner``: independent simulations shard across
+``--workers`` processes and completed runs persist in the result cache,
+so a re-collection after an interrupted or repeated run executes only
+the missing simulations.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import time
 
@@ -21,12 +28,31 @@ from repro.experiments.fig11_12_13_params import run_param_sweep
 from repro.experiments.table3_4_tlp import run_tlp_tables
 from repro.experiments.table5_efficiency import run_efficiency_table
 from repro.platform.chip import exynos5422
+from repro.runner import BatchRunner, ResultCache
 
 SEED = 7
 OUT = os.path.join(os.path.dirname(__file__), "..", "results")
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers", type=int, default=os.cpu_count(),
+        help="worker processes for the multi-run sweeps (default: all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache root (default: ~/.cache/repro-runner)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-simulate, ignoring and not writing the result cache",
+    )
+    args = parser.parse_args(argv)
+
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    runner = BatchRunner(workers=args.workers, cache=cache)
+
     os.makedirs(OUT, exist_ok=True)
     study = CharacterizationStudy(seed=SEED)
     chip_on = exynos5422(screen_on=True)
@@ -38,12 +64,12 @@ def main() -> None:
         ("table3_4", lambda: run_tlp_tables(study=study)),
         ("fig09_10", lambda: run_frequency_residency(study=study)),
         ("table5", lambda: run_efficiency_table(study=study)),
-        ("fig07_08", lambda: run_core_config_sweep(seed=SEED)),
-        ("fig11_13", lambda: run_param_sweep(seed=SEED)),
+        ("fig07_08", lambda: run_core_config_sweep(seed=SEED, runner=runner)),
+        ("fig11_13", lambda: run_param_sweep(seed=SEED, runner=runner)),
     ]
-    for name, runner in artifacts:
+    for name, artifact_runner in artifacts:
         t0 = time.time()
-        result = runner()
+        result = artifact_runner()
         path = os.path.join(OUT, f"{name}.txt")
         with open(path, "w") as f:
             f.write(result.render() + "\n")

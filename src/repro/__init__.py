@@ -12,7 +12,10 @@ The package provides:
   a SPEC-like CPU suite, and a utilization microbenchmark,
 - :mod:`repro.core` -- the characterization toolkit (TLP, frequency
   residency, efficiency decomposition, performance/power comparison),
-- :mod:`repro.experiments` -- one runner per paper table/figure.
+- :mod:`repro.experiments` -- one runner per paper table/figure,
+- :mod:`repro.runner` -- parallel, cached, fault-tolerant batch
+  execution of simulation grids (the path every multi-run experiment
+  takes).
 
 Quickstart::
 
@@ -22,4 +25,7 @@ Quickstart::
     print(result.tlp, result.big_active_pct)
 """
 
-__version__ = "1.0.0"
+# Single source of truth — pyproject.toml reads this attribute
+# (tool.setuptools.dynamic), and repro.runner.cache partitions its
+# on-disk entries by it.  Bump on any change to simulation semantics.
+__version__ = "1.1.0"

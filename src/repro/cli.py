@@ -6,6 +6,8 @@ Usage::
     biglittle run table3           # run one experiment and print it
     biglittle run fig2 --seed 3
     biglittle characterize bbench  # full characterization of one app
+    biglittle batch --apps bbench --configs L4+B4,L2+B1 --workers 4
+    biglittle sweep coreconfig --workers 8   # fig07/08 on all cores
 """
 
 from __future__ import annotations
@@ -102,6 +104,97 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _csv(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _make_runner(args: argparse.Namespace):
+    from repro.runner import BatchRunner, ResultCache
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(root=args.cache_dir)
+    return BatchRunner(
+        workers=args.workers,
+        cache=cache,
+        timeout_s=getattr(args, "timeout", None),
+        retries=getattr(args, "retries", 1),
+        log_path=getattr(args, "log", None),
+    )
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.runner import RunSpec
+
+    apps = _csv(args.apps) if args.apps else MOBILE_APP_NAMES
+    configs = _csv(args.configs) if args.configs else [None]
+    seeds = [int(s) for s in _csv(args.seeds)]
+    specs = [
+        RunSpec(
+            app,
+            chip=args.chip,
+            core_config=config,
+            seed=seed,
+            max_seconds=args.max_seconds,
+        )
+        for app in apps
+        for config in configs
+        for seed in seeds
+    ]
+    report = _make_runner(args).run(specs)
+    print(report.render())
+    if args.json:
+        from repro.experiments.serialize import dump_result
+
+        dump_result(
+            {"jobs": report.jobs,
+             "results": [r.scalars() if r else None for r in report.results],
+             "cache_hits": report.cache_hits,
+             "cache_misses": report.cache_misses,
+             "wall_s": report.wall_s},
+            args.json,
+        )
+        print(f"\n[json written to {args.json}]")
+    return 0 if report.succeeded() else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.fig07_08_coreconfig import run_core_config_sweep
+    from repro.experiments.fig11_12_13_params import run_param_sweep
+
+    runner = _make_runner(args)
+    apps = _csv(args.apps) if args.apps else None
+    if args.target == "coreconfig":
+        result = run_core_config_sweep(apps=apps, seed=args.seed, runner=runner)
+    else:
+        result = run_param_sweep(apps=apps, seed=args.seed, runner=runner)
+    print(result.render())
+    if args.json:
+        from repro.experiments.serialize import dump_result
+
+        dump_result(result, args.json)
+        print(f"\n[json written to {args.json}]")
+    return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_runner_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=_positive_int, default=None,
+                        help="worker processes (default: all cores; 1 = serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache root (default: ~/.cache/repro-runner)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--log", metavar="PATH", default=None,
+                        help="append structured JSONL progress events to PATH")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="biglittle",
@@ -140,6 +233,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("app", choices=MOBILE_APP_NAMES)
     p_rep.add_argument("--seed", type=int, default=0)
     p_rep.set_defaults(func=_cmd_report)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="run a (apps x configs x seeds) grid through the batch runner",
+    )
+    p_batch.add_argument("--apps", default=None,
+                         help="comma-separated app names (default: all 12)")
+    p_batch.add_argument("--configs", default=None,
+                         help="comma-separated core configs, e.g. L4+B4,L2+B1 "
+                              "(default: all cores enabled)")
+    p_batch.add_argument("--seeds", default="0",
+                         help="comma-separated seeds (default: 0)")
+    p_batch.add_argument("--chip", default="exynos5422-screen",
+                         help="chip registry id (default: exynos5422-screen)")
+    p_batch.add_argument("--max-seconds", type=float, default=None,
+                         help="per-run simulated-seconds cap "
+                              "(default: app-family convention)")
+    p_batch.add_argument("--timeout", type=float, default=None,
+                         help="per-job wall-clock timeout in seconds")
+    p_batch.add_argument("--retries", type=int, default=1,
+                         help="re-executions for crashed/failed jobs (default: 1)")
+    p_batch.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the batch report as JSON")
+    _add_runner_options(p_batch)
+    p_batch.set_defaults(func=_cmd_batch)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a full paper sweep (fig07/08 or fig11-13) in parallel",
+    )
+    p_sweep.add_argument("target", choices=["coreconfig", "params"],
+                         help="coreconfig = fig07/08, params = fig11-13")
+    p_sweep.add_argument("--apps", default=None,
+                         help="comma-separated app names (default: all 12)")
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the result as JSON")
+    _add_runner_options(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     return parser
 

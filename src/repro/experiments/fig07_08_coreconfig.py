@@ -17,9 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.report import render_table
-from repro.core.study import AppRun, run_app
-from repro.platform.chip import ChipSpec, CoreConfig, exynos5422
 from repro.experiments.common import relative_change_pct
+from repro.platform.chip import ChipSpec
+from repro.runner import BatchRunner, RunResult, RunSpec
 from repro.workloads.base import Metric
 from repro.workloads.mobile import MOBILE_APP_NAMES
 
@@ -60,10 +60,24 @@ class CoreConfigResult:
         return fig7 + "\n\n" + fig8
 
 
-def _performance_value(run: AppRun) -> float:
-    if run.metric is Metric.LATENCY:
-        return run.latency_s()
-    return run.avg_fps()
+def coreconfig_specs(
+    chip: ChipSpec | str | None = None,
+    apps: list[str] | None = None,
+    configs: list[str] | None = None,
+    seed: int = 0,
+) -> list[RunSpec]:
+    """The sweep's spec grid: per app, the baseline then each config."""
+    # Registry ids keep cache manifests readable and worker pickles small;
+    # the sweep's historical default platform is the screen-off chip.
+    chip = chip if chip is not None else "exynos5422"
+    labels = configs or CORE_CONFIG_LABELS
+    specs = []
+    for app_name in apps or MOBILE_APP_NAMES:
+        for label in [BASELINE_LABEL, *labels]:
+            specs.append(
+                RunSpec(app_name, chip=chip, core_config=label, seed=seed)
+            )
+    return specs
 
 
 def run_core_config_sweep(
@@ -71,32 +85,41 @@ def run_core_config_sweep(
     apps: list[str] | None = None,
     configs: list[str] | None = None,
     seed: int = 0,
+    workers: int | None = 1,
+    runner: BatchRunner | None = None,
 ) -> CoreConfigResult:
-    """Run Figures 7 and 8 (shared runs)."""
-    chip = chip or exynos5422()
-    result = CoreConfigResult()
+    """Run Figures 7 and 8 (shared runs, via :mod:`repro.runner`).
+
+    ``workers``/``runner`` parallelize and cache the grid; the default
+    is the serial inline path, bit-identical to the historical loop.
+    """
     labels = configs or CORE_CONFIG_LABELS
-    for app_name in apps or MOBILE_APP_NAMES:
-        base = run_app(
-            app_name, chip=chip, core_config=CoreConfig.parse(BASELINE_LABEL), seed=seed
-        )
-        base_perf = _performance_value(base)
-        base_power = base.avg_power_mw()
-        result.metric[app_name] = base.metric
+    app_names = apps or MOBILE_APP_NAMES
+    specs = coreconfig_specs(chip=chip, apps=app_names, configs=labels, seed=seed)
+    if runner is None:
+        runner = BatchRunner(workers=workers)
+    report = runner.run(specs)
+    report.raise_on_failure()
+    per_app = len(labels) + 1  # baseline first, then each config
+
+    result = CoreConfigResult()
+    for a, app_name in enumerate(app_names):
+        rows: list[RunResult] = report.results[a * per_app : (a + 1) * per_app]
+        base, runs = rows[0], rows[1:]
+        base_perf = base.performance_value()
+        base_power = base.avg_power_mw
+        result.metric[app_name] = base.metric_enum
         result.perf_change_pct[app_name] = {}
         result.power_saving_pct[app_name] = {}
-        for label in labels:
-            run = run_app(
-                app_name, chip=chip, core_config=CoreConfig.parse(label), seed=seed
-            )
-            perf = _performance_value(run)
-            if run.metric is Metric.LATENCY:
+        for label, run in zip(labels, runs):
+            perf = run.performance_value()
+            if run.metric_enum is Metric.LATENCY:
                 # Lower latency is better: report the negated increase.
                 change = -relative_change_pct(perf, base_perf)
             else:
                 change = relative_change_pct(perf, base_perf)
             result.perf_change_pct[app_name][label] = change
             result.power_saving_pct[app_name][label] = -relative_change_pct(
-                run.avg_power_mw(), base_power
+                run.avg_power_mw, base_power
             )
     return result

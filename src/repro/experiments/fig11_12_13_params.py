@@ -21,10 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.report import render_table
-from repro.core.study import run_app
-from repro.platform.chip import ChipSpec, exynos5422
-from repro.sched.params import SchedulerConfig, baseline_config, variant_configs
 from repro.experiments.common import relative_change_pct
+from repro.platform.chip import ChipSpec
+from repro.runner import BatchRunner, RunSpec
+from repro.sched.params import SchedulerConfig, baseline_config, variant_configs
 from repro.workloads.base import Metric
 from repro.workloads.mobile import MOBILE_APP_NAMES
 
@@ -87,38 +87,64 @@ class ParamSweepResult:
         return "\n\n".join(parts)
 
 
+def param_sweep_specs(
+    chip: ChipSpec | str | None = None,
+    apps: list[str] | None = None,
+    variants: list[SchedulerConfig] | None = None,
+    seed: int = 0,
+) -> list[RunSpec]:
+    """The sweep's spec grid: baseline per app, then variant x app."""
+    chip = chip if chip is not None else "exynos5422"
+    app_names = apps or MOBILE_APP_NAMES
+    variants = variants if variants is not None else variant_configs()
+    specs = [
+        RunSpec(app, chip=chip, scheduler=baseline_config(), seed=seed)
+        for app in app_names
+    ]
+    for variant in variants:
+        specs.extend(
+            RunSpec(app, chip=chip, scheduler=variant, seed=seed)
+            for app in app_names
+        )
+    return specs
+
+
 def run_param_sweep(
     chip: ChipSpec | None = None,
     apps: list[str] | None = None,
     variants: list[SchedulerConfig] | None = None,
     seed: int = 0,
+    workers: int | None = 1,
+    runner: BatchRunner | None = None,
 ) -> ParamSweepResult:
-    """Run Figures 11-13 (shared runs)."""
-    chip = chip or exynos5422()
+    """Run Figures 11-13 (shared runs, via :mod:`repro.runner`)."""
     app_names = apps or MOBILE_APP_NAMES
     variants = variants if variants is not None else variant_configs()
+    specs = param_sweep_specs(chip=chip, apps=app_names, variants=variants, seed=seed)
+    if runner is None:
+        runner = BatchRunner(workers=workers)
+    report = runner.run(specs)
+    report.raise_on_failure()
+    n_apps = len(app_names)
+    base_runs = dict(zip(app_names, report.results[:n_apps]))
 
-    base_runs = {
-        app: run_app(app, chip=chip, scheduler=baseline_config(), seed=seed)
-        for app in app_names
-    }
     result = ParamSweepResult()
-    for variant in variants:
+    for v, variant in enumerate(variants):
         result.power_saving_pct[variant.name] = {}
         result.latency_change_pct[variant.name] = {}
         result.fps_change_pct[variant.name] = {}
-        for app in app_names:
-            run = run_app(app, chip=chip, scheduler=variant, seed=seed)
+        rows = report.results[(v + 1) * n_apps : (v + 2) * n_apps]
+        for app, run in zip(app_names, rows):
             base = base_runs[app]
             result.power_saving_pct[variant.name][app] = -relative_change_pct(
-                run.avg_power_mw(), base.avg_power_mw()
+                run.avg_power_mw, base.avg_power_mw
             )
-            if run.metric is Metric.LATENCY:
+            if run.metric_enum is Metric.LATENCY:
                 result.latency_change_pct[variant.name][app] = relative_change_pct(
-                    run.latency_s(), base.latency_s()
+                    run.latency_s, base.latency_s
                 )
             else:
                 result.fps_change_pct[variant.name][app] = relative_change_pct(
-                    run.avg_fps(), base.avg_fps()
+                    run.avg_fps, base.avg_fps
                 )
     return result

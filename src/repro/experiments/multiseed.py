@@ -15,6 +15,8 @@ from typing import Callable
 
 from repro.core.report import render_table
 from repro.core.study import CharacterizationStudy
+from repro.core.tlp import tlp_stats
+from repro.runner import BatchRunner, RunSpec
 from repro.workloads.mobile import MOBILE_APP_NAMES
 
 
@@ -70,15 +72,38 @@ class MultiSeedTLPResult:
 
 
 def run_tlp_multiseed(
-    apps: list[str] | None = None, seeds: list[int] | None = None
+    apps: list[str] | None = None,
+    seeds: list[int] | None = None,
+    workers: int | None = 1,
+    runner: BatchRunner | None = None,
 ) -> MultiSeedTLPResult:
-    """Table III with error bars over several seeds."""
+    """Table III with error bars over several seeds.
+
+    Each (app, seed) simulation is an independent :class:`RunSpec`
+    dispatched through :class:`BatchRunner`; the TLP statistics are then
+    computed from the returned traces exactly as
+    :meth:`CharacterizationStudy.characterize` would (same chip, same
+    warmup trim), so the numbers match the serial study bit for bit.
+    """
     seeds = seeds if seeds is not None else [0, 1, 2]
     apps = apps or MOBILE_APP_NAMES
+    specs = [
+        RunSpec(app, chip="exynos5422-screen", seed=seed)
+        for seed in seeds
+        for app in apps
+    ]
+    if runner is None:
+        runner = BatchRunner(workers=workers)
+    report = runner.run(specs)
+    report.raise_on_failure()
+    warmup_s = CharacterizationStudy.WARMUP_S
     per_seed = {}
-    for seed in seeds:
-        study = CharacterizationStudy(seed=seed)
-        per_seed[seed] = {app: study.characterize(app).tlp for app in apps}
+    for i, seed in enumerate(seeds):
+        rows = report.results[i * len(apps) : (i + 1) * len(apps)]
+        per_seed[seed] = {
+            app: tlp_stats(run.trace.trimmed(warmup_s))
+            for app, run in zip(apps, rows)
+        }
     result = MultiSeedTLPResult(seeds=list(seeds))
     for app in apps:
         result.idle[app] = seed_stats([per_seed[s][app].idle_pct for s in seeds])

@@ -1,0 +1,449 @@
+"""Parallel, cached, fault-tolerant execution of :class:`RunSpec` batches.
+
+:class:`BatchRunner` is the single execution path for every multi-run
+experiment in the repository.  It shards a list of specs across a
+``ProcessPoolExecutor`` (each (workload, config, seed) simulation is
+independent and deterministic), consults the on-disk
+:class:`~repro.runner.cache.ResultCache` before simulating anything, and
+returns results **in spec order** regardless of completion order — so a
+parallel run is bit-identical to the serial inline path
+(``workers=1`` or ``REPRO_RUNNER_SERIAL=1``).
+
+Fault tolerance:
+
+- per-job **timeouts** are enforced *inside* the executing process via
+  ``SIGALRM`` (they interrupt a genuinely hung simulation and surface as
+  an ordinary job failure, never poisoning the pool);
+- a **worker crash** breaks the pool; the runner rebuilds it and
+  resubmits every unfinished job, charging each one attempt (the crash
+  is attributable to one of them but the executor cannot say which);
+- every job gets up to ``retries`` re-executions before it is recorded
+  as ``failed``/``timeout`` in the :class:`BatchReport` — one bad job
+  never aborts the batch.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from concurrent.futures import as_completed
+from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.runner.cache import ResultCache
+from repro.runner.events import EventCallback, EventSink
+from repro.runner.spec import RunResult, RunSpec, execute_spec
+
+#: Setting this to ``1`` forces the serial inline path regardless of
+#: ``workers`` — the escape hatch for debugging and for provably
+#: pool-free reference runs.
+SERIAL_ENV = "REPRO_RUNNER_SERIAL"
+
+#: Job statuses recorded in a :class:`JobRecord`.
+STATUS_OK = "ok"
+STATUS_CACHED = "cached"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+
+
+class JobTimeout(Exception):
+    """A job exceeded its per-job wall-clock budget."""
+
+
+def _execute_job(spec: RunSpec, timeout_s: Optional[float]) -> RunResult:
+    """Execute one spec with an optional in-process alarm timeout.
+
+    Module-level so pool workers can unpickle it.  The alarm is only
+    armed in a main thread (workers always are); elsewhere the job runs
+    untimed rather than failing.
+    """
+    use_alarm = (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        return execute_spec(spec)
+
+    def _on_alarm(_signum, _frame):  # pragma: no cover - exercised via raise
+        raise JobTimeout(f"job exceeded {timeout_s:.3f}s: {spec.label()}")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return execute_spec(spec)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass
+class JobRecord:
+    """Outcome of one spec in a batch."""
+
+    index: int
+    spec_key: str
+    label: str
+    status: str
+    attempts: int
+    duration_s: float
+    error: Optional[str] = None
+
+
+@dataclass
+class BatchReport:
+    """Per-job records plus the aggregate counters of one batch run."""
+
+    results: list[Optional[RunResult]]
+    jobs: list[JobRecord]
+    workers: int
+    wall_s: float
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for j in self.jobs if j.status in (STATUS_OK, STATUS_CACHED))
+
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for j in self.jobs if j.status in (STATUS_FAILED, STATUS_TIMEOUT))
+
+    def succeeded(self) -> bool:
+        return self.failed_count == 0
+
+    def throughput_jobs_per_s(self) -> float:
+        """Completed simulations (cache hits excluded) per wall second."""
+        if self.wall_s <= 0:
+            return 0.0
+        executed = sum(1 for j in self.jobs if j.status == STATUS_OK)
+        return executed / self.wall_s
+
+    def raise_on_failure(self) -> None:
+        failures = [j for j in self.jobs if j.status in (STATUS_FAILED, STATUS_TIMEOUT)]
+        if failures:
+            detail = "; ".join(
+                f"#{j.index} {j.label}: {j.status} ({j.error})" for j in failures[:5]
+            )
+            raise RuntimeError(
+                f"{len(failures)}/{self.n_jobs} batch jobs failed: {detail}"
+            )
+
+    def render(self) -> str:
+        from repro.core.report import render_table
+
+        rows = []
+        for job in self.jobs:
+            result = self.results[job.index]
+            metric = ""
+            power = ""
+            if result is not None:
+                value = result.performance_value()
+                unit = "s" if result.metric == "latency" else "fps"
+                metric = f"{value:.2f} {unit}"
+                power = f"{result.avg_power_mw:.0f}"
+            rows.append([
+                job.index, job.label, job.status, job.attempts,
+                f"{job.duration_s:.2f}", metric, power,
+                job.error or "",
+            ])
+        table = render_table(
+            ["#", "job", "status", "att", "time (s)", "metric", "mW", "error"],
+            rows,
+            title=(
+                f"Batch: {self.ok_count}/{self.n_jobs} ok, "
+                f"{self.cache_hits} cached, workers={self.workers}, "
+                f"{self.wall_s:.1f}s wall, "
+                f"{self.throughput_jobs_per_s():.2f} sims/s"
+            ),
+        )
+        return table
+
+
+@dataclass
+class _Job:
+    """Internal mutable per-spec bookkeeping."""
+
+    index: int
+    spec: RunSpec
+    attempts: int = 0
+    duration_s: float = 0.0
+
+
+class BatchRunner:
+    """Runs a list of :class:`RunSpec` and returns a :class:`BatchReport`.
+
+    Args:
+        workers: process count; ``None`` uses ``os.cpu_count()``; ``1``
+            (or ``REPRO_RUNNER_SERIAL=1``) selects the serial inline
+            path, which produces bit-identical results.
+        cache: a :class:`ResultCache`, ``True`` for the default cache
+            directory, or ``None``/``False`` to disable caching.
+        timeout_s: per-job wall-clock budget (``None`` = unlimited).
+        retries: re-executions granted to a failing job before it is
+            recorded as failed.
+        on_event: callback receiving every :class:`RunnerEvent`.
+        log_path: append structured events to this JSONL file.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Union[ResultCache, bool, None] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        on_event: Optional[EventCallback] = None,
+        log_path: Optional[str] = None,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ValueError(f"retries must be non-negative, got {retries}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if cache is True:
+            self.cache: Optional[ResultCache] = ResultCache()
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.on_event = on_event
+        self.log_path = log_path
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, specs: Iterable[RunSpec]) -> BatchReport:
+        """Execute every spec; never raises for individual job failures."""
+        spec_list = list(specs)
+        n = len(spec_list)
+        results: list[Optional[RunResult]] = [None] * n
+        records: list[Optional[JobRecord]] = [None] * n
+        serial = self.workers == 1 or os.environ.get(SERIAL_ENV) == "1"
+        t0 = time.monotonic()
+
+        with EventSink(self.on_event, self.log_path) as sink:
+            sink.emit(
+                "batch_start",
+                extra={
+                    "n_jobs": n,
+                    "workers": 1 if serial else min(self.workers, max(1, n)),
+                    "serial": serial,
+                },
+            )
+            pending: list[_Job] = []
+            cache_hits = 0
+            for i, spec in enumerate(spec_list):
+                cached = self.cache.load(spec) if self.cache is not None else None
+                if cached is not None:
+                    cache_hits += 1
+                    results[i] = cached
+                    records[i] = JobRecord(
+                        index=i, spec_key=spec.key(), label=spec.label(),
+                        status=STATUS_CACHED, attempts=0, duration_s=0.0,
+                    )
+                    sink.emit(
+                        "cache_hit", index=i, spec_key=spec.key(),
+                        label=spec.label(), status=STATUS_CACHED,
+                    )
+                else:
+                    pending.append(_Job(index=i, spec=spec))
+
+            if serial:
+                self._run_serial(pending, results, records, sink)
+            elif pending:
+                self._run_parallel(pending, results, records, sink)
+
+            wall_s = time.monotonic() - t0
+            report = BatchReport(
+                results=results,
+                jobs=[r for r in records if r is not None],
+                workers=1 if serial else self.workers,
+                wall_s=wall_s,
+                cache_hits=cache_hits,
+                cache_misses=len(pending),
+            )
+            sink.emit(
+                "batch_done",
+                extra={
+                    "ok": report.ok_count,
+                    "failed": report.failed_count,
+                    "cache_hits": cache_hits,
+                    "wall_s": round(wall_s, 3),
+                },
+            )
+        return report
+
+    def run_one(self, spec: RunSpec) -> RunResult:
+        """Convenience: run a single spec, raising if it failed."""
+        report = self.run([spec])
+        report.raise_on_failure()
+        result = report.results[0]
+        assert result is not None
+        return result
+
+    # -- outcome bookkeeping ------------------------------------------------
+
+    def _finish_ok(
+        self,
+        job: _Job,
+        result: RunResult,
+        results: list[Optional[RunResult]],
+        records: list[Optional[JobRecord]],
+        sink: EventSink,
+    ) -> None:
+        if self.cache is not None:
+            self.cache.store(job.spec, result)
+        results[job.index] = result
+        records[job.index] = JobRecord(
+            index=job.index, spec_key=job.spec.key(), label=job.spec.label(),
+            status=STATUS_OK, attempts=job.attempts, duration_s=job.duration_s,
+        )
+        sink.emit(
+            "job_done", index=job.index, spec_key=job.spec.key(),
+            label=job.spec.label(), status=STATUS_OK, attempt=job.attempts,
+            duration_s=round(job.duration_s, 4),
+        )
+
+    def _finish_failed(
+        self,
+        job: _Job,
+        exc: BaseException,
+        records: list[Optional[JobRecord]],
+        sink: EventSink,
+    ) -> None:
+        status = STATUS_TIMEOUT if isinstance(exc, JobTimeout) else STATUS_FAILED
+        records[job.index] = JobRecord(
+            index=job.index, spec_key=job.spec.key(), label=job.spec.label(),
+            status=status, attempts=job.attempts, duration_s=job.duration_s,
+            error=repr(exc),
+        )
+        sink.emit(
+            "job_failed", index=job.index, spec_key=job.spec.key(),
+            label=job.spec.label(), status=status, attempt=job.attempts,
+            duration_s=round(job.duration_s, 4), error=repr(exc),
+        )
+
+    def _should_retry(self, job: _Job, exc: BaseException, sink: EventSink) -> bool:
+        if job.attempts <= self.retries:
+            sink.emit(
+                "job_retry", index=job.index, spec_key=job.spec.key(),
+                label=job.spec.label(), attempt=job.attempts, error=repr(exc),
+            )
+            return True
+        return False
+
+    # -- serial path --------------------------------------------------------
+
+    def _run_serial(
+        self,
+        pending: Sequence[_Job],
+        results: list[Optional[RunResult]],
+        records: list[Optional[JobRecord]],
+        sink: EventSink,
+    ) -> None:
+        for job in pending:
+            while True:
+                job.attempts += 1
+                attempt_t0 = time.monotonic()
+                try:
+                    result = _execute_job(job.spec, self.timeout_s)
+                except Exception as exc:
+                    job.duration_s += time.monotonic() - attempt_t0
+                    if self._should_retry(job, exc, sink):
+                        continue
+                    self._finish_failed(job, exc, records, sink)
+                    break
+                else:
+                    job.duration_s += time.monotonic() - attempt_t0
+                    self._finish_ok(job, result, results, records, sink)
+                    break
+
+    # -- parallel path ------------------------------------------------------
+
+    def _run_parallel(
+        self,
+        pending: Sequence[_Job],
+        results: list[Optional[RunResult]],
+        records: list[Optional[JobRecord]],
+        sink: EventSink,
+    ) -> None:
+        todo: list[_Job] = list(pending)
+        while todo:
+            max_workers = min(self.workers, len(todo))
+            retry_next: list[_Job] = []
+            submit_t: dict[int, float] = {}
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = {}
+                for job in todo:
+                    job.attempts += 1
+                    submit_t[job.index] = time.monotonic()
+                    futures[pool.submit(_execute_job, job.spec, self.timeout_s)] = job
+                broken = False
+                settled: set[int] = set()
+                try:
+                    for fut in as_completed(futures):
+                        job = futures[fut]
+                        elapsed = time.monotonic() - submit_t[job.index]
+                        try:
+                            result = fut.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            break
+                        except Exception as exc:
+                            job.duration_s += elapsed
+                            settled.add(job.index)
+                            if self._should_retry(job, exc, sink):
+                                retry_next.append(job)
+                            else:
+                                self._finish_failed(job, exc, records, sink)
+                        else:
+                            job.duration_s += elapsed
+                            settled.add(job.index)
+                            self._finish_ok(job, result, results, records, sink)
+                except BrokenProcessPool:
+                    broken = True
+                if broken:
+                    # The pool died with one (unidentifiable) job to blame:
+                    # collect any results that did land, then charge every
+                    # unfinished job one attempt and resubmit survivors in
+                    # a fresh pool.
+                    crash = BrokenProcessPool("worker process crashed")
+                    for fut, job in futures.items():
+                        if job.index in settled:
+                            continue
+                        elapsed = time.monotonic() - submit_t[job.index]
+                        if fut.done() and fut.exception() is None:
+                            job.duration_s += elapsed
+                            self._finish_ok(job, fut.result(), results, records, sink)
+                        else:
+                            job.duration_s += elapsed
+                            if self._should_retry(job, crash, sink):
+                                retry_next.append(job)
+                            else:
+                                self._finish_failed(job, crash, records, sink)
+            todo = retry_next
+
+
+def run_specs(
+    specs: Iterable[RunSpec],
+    workers: Optional[int] = None,
+    cache: Union[ResultCache, bool, None] = None,
+    **kwargs,
+) -> list[RunResult]:
+    """One-shot helper: run specs, raise on any failure, return results.
+
+    The workhorse of the rewired experiment sweeps — callers get results
+    in spec order and can zip them straight back onto their spec grid.
+    """
+    report = BatchRunner(workers=workers, cache=cache, **kwargs).run(specs)
+    report.raise_on_failure()
+    return [r for r in report.results if r is not None]

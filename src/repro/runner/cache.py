@@ -1,0 +1,114 @@
+"""Content-addressed on-disk result cache.
+
+Layout: ``<root>/<repro.__version__>/<spec_key>/`` holding
+
+- ``result.json`` — the spec manifest plus the scalar metrics
+  (serialized through :func:`repro.experiments.serialize.to_jsonable`),
+- ``trace.npz`` — the full simulation trace via :mod:`repro.sim.traceio`
+  (absent when the result carried no trace).
+
+Keying by spec hash *and* package version means a version bump
+invalidates every entry wholesale — simulation semantics may have
+changed — without touching older versions' entries.  Writes go through
+a temp directory + atomic rename, so a killed run never leaves a
+half-written entry that a later run would trust.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from typing import Optional
+
+import repro
+from repro.runner.spec import RunResult, RunSpec
+from repro.sim.traceio import load_trace, save_trace
+
+#: Environment override for the cache root (tests, CI, shared scratch).
+CACHE_DIR_ENV = "REPRO_RUNNER_CACHE"
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    return os.path.join(
+        os.environ.get("XDG_CACHE_HOME", os.path.expanduser("~/.cache")),
+        "repro-runner",
+    )
+
+
+class ResultCache:
+    """Spec-keyed persistent store of :class:`RunResult` objects."""
+
+    RESULT_FILE = "result.json"
+    TRACE_FILE = "trace.npz"
+
+    def __init__(self, root: Optional[str] = None, version: Optional[str] = None):
+        self.root = root or default_cache_dir()
+        self.version = version if version is not None else repro.__version__
+
+    def entry_dir(self, spec: RunSpec) -> str:
+        return os.path.join(self.root, self.version, spec.key())
+
+    def contains(self, spec: RunSpec) -> bool:
+        return os.path.isfile(os.path.join(self.entry_dir(spec), self.RESULT_FILE))
+
+    def load(self, spec: RunSpec) -> Optional[RunResult]:
+        """Return the cached result for ``spec``, or ``None`` on any miss.
+
+        Unreadable or torn entries count as misses (the batch simply
+        re-runs the simulation), never as errors.
+        """
+        entry = self.entry_dir(spec)
+        path = os.path.join(entry, self.RESULT_FILE)
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+        except (OSError, ValueError):
+            return None
+        scalars = payload.get("result")
+        if not isinstance(scalars, dict):
+            return None
+        trace = None
+        trace_path = os.path.join(entry, self.TRACE_FILE)
+        if os.path.isfile(trace_path):
+            try:
+                trace = load_trace(trace_path)
+            except (OSError, ValueError, KeyError):
+                return None
+        try:
+            return RunResult(trace=trace, **scalars)
+        except TypeError:
+            return None
+
+    def store(self, spec: RunSpec, result: RunResult) -> str:
+        """Persist ``result`` under ``spec``'s key; returns the entry dir."""
+        entry = self.entry_dir(spec)
+        parent = os.path.dirname(entry)
+        os.makedirs(parent, exist_ok=True)
+        tmp = tempfile.mkdtemp(prefix=".tmp-", dir=parent)
+        try:
+            payload = {
+                "cache_version": self.version,
+                "spec": spec.manifest(),
+                "result": result.scalars(),
+            }
+            with open(os.path.join(tmp, self.RESULT_FILE), "w") as f:
+                json.dump(payload, f, indent=2, sort_keys=True)
+            if result.trace is not None:
+                save_trace(result.trace, os.path.join(tmp, self.TRACE_FILE))
+            if os.path.isdir(entry):
+                shutil.rmtree(entry)
+            os.replace(tmp, entry)
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        return entry
+
+    def evict(self, spec: RunSpec) -> None:
+        entry = self.entry_dir(spec)
+        if os.path.isdir(entry):
+            shutil.rmtree(entry)

@@ -1,0 +1,81 @@
+"""Structured progress events for batch runs.
+
+The :class:`BatchRunner` narrates a run as a stream of
+:class:`RunnerEvent` records: one ``batch_start``, one per-job event
+for every cache hit / completion / retry / failure, and one
+``batch_done`` carrying the aggregate counters.  Consumers attach a
+callback (progress bars, tests) and/or a JSONL run-log path (offline
+analysis — each line is one event).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass
+class RunnerEvent:
+    """One progress record.
+
+    ``event`` is one of ``batch_start``, ``cache_hit``, ``job_done``,
+    ``job_retry``, ``job_failed``, ``batch_done``.  ``t_s`` is seconds
+    since the batch started; per-job fields are ``None`` on batch-level
+    events.
+    """
+
+    event: str
+    t_s: float
+    index: Optional[int] = None
+    spec_key: Optional[str] = None
+    label: Optional[str] = None
+    status: Optional[str] = None
+    attempt: Optional[int] = None
+    duration_s: Optional[float] = None
+    error: Optional[str] = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {k: v for k, v in asdict(self).items() if v not in (None, {})}
+        return json.dumps(payload, sort_keys=True)
+
+
+EventCallback = Callable[[RunnerEvent], None]
+
+
+class EventSink:
+    """Fans events out to an optional callback and an optional JSONL log."""
+
+    def __init__(
+        self,
+        callback: Optional[EventCallback] = None,
+        log_path: Optional[str] = None,
+    ):
+        self._callback = callback
+        self._log_path = log_path
+        self._log_file = None
+        self._t0 = time.monotonic()
+
+    def __enter__(self) -> "EventSink":
+        if self._log_path:
+            self._log_file = open(self._log_path, "a")
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._log_file is not None:
+            self._log_file.close()
+            self._log_file = None
+
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self._t0
+
+    def emit(self, event: str, **fields: Any) -> RunnerEvent:
+        record = RunnerEvent(event=event, t_s=round(self.elapsed_s(), 6), **fields)
+        if self._callback is not None:
+            self._callback(record)
+        if self._log_file is not None:
+            self._log_file.write(record.to_json() + "\n")
+            self._log_file.flush()
+        return record

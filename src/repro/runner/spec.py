@@ -1,0 +1,268 @@
+"""The job model of the experiment runner.
+
+A :class:`RunSpec` is a picklable, stably-hashable description of *one*
+simulation: a workload, a platform (chip + enabled cores), scheduler and
+governor parameters, a seed, and a wall-clock cap.  Its :meth:`RunSpec.key`
+is a content hash of the canonical JSON manifest, so two specs that
+describe the same simulation always share a key — the foundation of the
+on-disk result cache and of deterministic batch ordering.
+
+Two small registries keep specs declarative:
+
+- the **chip registry** maps short chip ids (``"exynos5422"``,
+  ``"exynos5422-screen"``) to :class:`~repro.platform.chip.ChipSpec`
+  factories; a raw ``ChipSpec`` object may also be embedded directly,
+  in which case it is content-hashed through
+  :func:`repro.experiments.serialize.to_jsonable`;
+- the **kind registry** maps a spec's ``kind`` to the function that
+  turns the spec into a :class:`RunResult`.  The built-in ``"app"`` kind
+  reproduces :func:`repro.core.study.run_app` exactly; any other kind is
+  resolved as a ``"package.module:callable"`` dotted path, so worker
+  processes can execute custom kinds regardless of how they were
+  spawned.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Union
+
+from repro.platform.chip import ChipSpec, CoreConfig, exynos5422
+from repro.sched.params import SchedulerConfig, baseline_config
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.trace import Trace
+from repro.workloads.base import Metric
+from repro.workloads.mobile import make_app
+
+# ---------------------------------------------------------------------------
+# Chip registry
+# ---------------------------------------------------------------------------
+
+_CHIP_FACTORIES: dict[str, Callable[[], ChipSpec]] = {
+    "exynos5422": exynos5422,
+    "exynos5422-screen": lambda: exynos5422(screen_on=True),
+}
+
+#: Default platform for interactive-app runs (screen on, paper Sec. III).
+DEFAULT_CHIP_ID = "exynos5422-screen"
+
+
+def register_chip(chip_id: str, factory: Callable[[], ChipSpec]) -> None:
+    """Register a named chip factory usable as ``RunSpec.chip``."""
+    _CHIP_FACTORIES[chip_id] = factory
+
+
+def resolve_chip(chip: Union[str, ChipSpec]) -> ChipSpec:
+    """Instantiate the chip a spec names (registry id or inline object)."""
+    if isinstance(chip, ChipSpec):
+        return chip
+    try:
+        return _CHIP_FACTORIES[chip]()
+    except KeyError:
+        raise KeyError(
+            f"unknown chip id {chip!r}; registered: {', '.join(sorted(_CHIP_FACTORIES))}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# RunSpec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation, fully described.
+
+    Attributes:
+        workload: application name (any :func:`repro.workloads.mobile.make_app`
+            name, paper or extended suite).
+        kind: execution-kind registry key; ``"app"`` (default) runs the
+            workload exactly like :func:`repro.core.study.run_app`.
+            Anything else is resolved as a ``module:callable`` path.
+        chip: chip registry id, or an inline :class:`ChipSpec` (content-
+            hashed; prefer registry ids for readable cache manifests).
+        core_config: enabled-core label in the paper's notation
+            (``"L4+B4"``, ``"L2+B1"``); ``None`` enables all cores.
+        scheduler: HMP + governor parameter set.
+        seed: RNG stream seed.
+        max_seconds: wall-clock cap; ``None`` applies the app-family
+            default (12 s FPS steady-state / 60 s latency cap).
+    """
+
+    workload: str
+    kind: str = "app"
+    chip: Union[str, ChipSpec] = DEFAULT_CHIP_ID
+    core_config: Optional[str] = None
+    scheduler: SchedulerConfig = field(default_factory=baseline_config)
+    seed: int = 0
+    max_seconds: Optional[float] = None
+
+    def manifest(self) -> dict[str, Any]:
+        """Canonical JSON-compatible description (the hashed identity)."""
+        # Local import: repro.experiments re-exports the sweeps that are
+        # built on this module, so a top-level import would be circular.
+        from repro.experiments.serialize import to_jsonable
+
+        chip: Any = self.chip
+        if isinstance(chip, ChipSpec):
+            chip = {"inline": to_jsonable(chip)}
+        return {
+            "kind": self.kind,
+            "workload": self.workload,
+            "chip": chip,
+            "core_config": self.core_config,
+            "scheduler": to_jsonable(self.scheduler),
+            "seed": self.seed,
+            "max_seconds": self.max_seconds,
+        }
+
+    def key(self) -> str:
+        """Stable content hash of the manifest (cache key component)."""
+        payload = json.dumps(self.manifest(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+    def label(self) -> str:
+        """Short human-readable identity for logs and progress lines."""
+        parts = [self.workload]
+        if self.core_config:
+            parts.append(self.core_config)
+        if self.scheduler.name != "baseline":
+            parts.append(self.scheduler.name)
+        parts.append(f"s{self.seed}")
+        return "/".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# RunResult
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunResult:
+    """Everything a completed simulation reports back.
+
+    Scalar metrics are computed in the worker (the live ``App`` object is
+    not shipped back); the full :class:`Trace` rides along so callers can
+    run any :mod:`repro.core` analysis on the result.
+    """
+
+    spec_key: str
+    workload: str
+    metric: str  # Metric.value: "latency" | "fps"
+    duration_s: float
+    avg_power_mw: float
+    energy_mj: float
+    latency_s: Optional[float] = None
+    avg_fps: Optional[float] = None
+    min_fps: Optional[float] = None
+    trace: Optional[Trace] = None
+
+    @property
+    def metric_enum(self) -> Metric:
+        return Metric(self.metric)
+
+    def performance_value(self) -> float:
+        """The app's headline metric: latency (s) or average FPS."""
+        if self.metric_enum is Metric.LATENCY:
+            assert self.latency_s is not None
+            return self.latency_s
+        assert self.avg_fps is not None
+        return self.avg_fps
+
+    def scalars(self) -> dict[str, Any]:
+        """The JSON-cacheable part (everything but the trace)."""
+        return {
+            "spec_key": self.spec_key,
+            "workload": self.workload,
+            "metric": self.metric,
+            "duration_s": self.duration_s,
+            "avg_power_mw": self.avg_power_mw,
+            "energy_mj": self.energy_mj,
+            "latency_s": self.latency_s,
+            "avg_fps": self.avg_fps,
+            "min_fps": self.min_fps,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Kind registry and execution
+# ---------------------------------------------------------------------------
+
+
+def _run_app_kind(spec: RunSpec) -> RunResult:
+    """Built-in kind: one Table II / extended app run (= ``run_app``)."""
+    # Imported here to avoid a cycle (core.study is analysis-layer).
+    from repro.core.study import FPS_APP_SECONDS, LATENCY_APP_CAP_SECONDS
+
+    chip = resolve_chip(spec.chip)
+    app = make_app(spec.workload)
+    max_seconds = spec.max_seconds
+    if max_seconds is None:
+        max_seconds = (
+            FPS_APP_SECONDS if app.metric is Metric.FPS else LATENCY_APP_CAP_SECONDS
+        )
+    core_config = (
+        CoreConfig.parse(spec.core_config) if spec.core_config is not None else None
+    )
+    config = SimConfig(
+        chip=chip,
+        core_config=core_config,
+        scheduler=spec.scheduler,
+        max_seconds=max_seconds,
+        seed=spec.seed,
+    )
+    sim = Simulator(config)
+    app.install(sim)
+    trace = sim.run()
+    result = RunResult(
+        spec_key=spec.key(),
+        workload=spec.workload,
+        metric=app.metric.value,
+        duration_s=float(trace.duration_s),
+        avg_power_mw=float(trace.average_power_mw()),
+        energy_mj=float(trace.energy_mj()),
+        trace=trace,
+    )
+    if app.metric is Metric.LATENCY:
+        result.latency_s = float(app.latency_s())
+    else:
+        result.avg_fps = float(app.avg_fps())
+        result.min_fps = float(app.min_fps())
+    return result
+
+
+_BUILTIN_KINDS: dict[str, Callable[[RunSpec], RunResult]] = {
+    "app": _run_app_kind,
+}
+
+
+def resolve_kind(kind: str) -> Callable[[RunSpec], RunResult]:
+    """Resolve a spec kind to its execution function.
+
+    Built-in kinds resolve from the table; anything containing ``:`` is
+    imported as ``package.module:callable``.  The dotted-path form keeps
+    custom kinds executable inside pool workers under any multiprocessing
+    start method — resolution happens in the worker, not via shared state.
+    """
+    fn = _BUILTIN_KINDS.get(kind)
+    if fn is not None:
+        return fn
+    if ":" in kind:
+        module_name, _, attr = kind.partition(":")
+        module = importlib.import_module(module_name)
+        fn = getattr(module, attr)
+        if not callable(fn):
+            raise TypeError(f"kind {kind!r} resolved to non-callable {fn!r}")
+        return fn
+    raise KeyError(
+        f"unknown run kind {kind!r}; built-ins: {', '.join(sorted(_BUILTIN_KINDS))}, "
+        "or use a 'package.module:callable' dotted path"
+    )
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Execute one spec in the current process (pool workers call this)."""
+    return resolve_kind(spec.kind)(spec)

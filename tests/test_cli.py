@@ -23,6 +23,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["characterize", "not-an-app"])
 
+    def test_batch_parses_runner_options(self):
+        args = build_parser().parse_args([
+            "batch", "--apps", "bbench,browser", "--configs", "L4+B4,L2+B1",
+            "--seeds", "0,1", "--workers", "4", "--timeout", "30",
+            "--retries", "2", "--no-cache",
+        ])
+        assert args.command == "batch"
+        assert args.apps == "bbench,browser"
+        assert args.workers == 4
+        assert args.timeout == 30.0
+        assert args.retries == 2
+        assert args.no_cache
+
+    def test_sweep_validates_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "not-a-sweep"])
+        args = build_parser().parse_args(["sweep", "params", "--workers", "2"])
+        assert args.target == "params"
+        assert args.workers == 2
+
 
 class TestCommands:
     def test_list_prints_artifacts(self, capsys):
@@ -59,3 +79,31 @@ class TestCommands:
         with open(path) as f:
             payload = json.load(f)
         assert "power_mw" in payload
+
+    def test_batch_runs_grid(self, capsys, tmp_path):
+        json_path = str(tmp_path / "report.json")
+        rc = main([
+            "batch", "--apps", "video-player", "--configs", "L4+B4,L2",
+            "--seeds", "0", "--chip", "exynos5422", "--max-seconds", "0.5",
+            "--workers", "1", "--cache-dir", str(tmp_path / "cache"),
+            "--json", json_path,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Batch: 2/2 ok" in out
+        assert "video-player/L4+B4/s0" in out
+        import json
+
+        with open(json_path) as f:
+            payload = json.load(f)
+        assert payload["cache_misses"] == 2
+        assert len(payload["results"]) == 2
+
+        # A warm rerun of the same grid is served entirely from cache.
+        rc = main([
+            "batch", "--apps", "video-player", "--configs", "L4+B4,L2",
+            "--seeds", "0", "--chip", "exynos5422", "--max-seconds", "0.5",
+            "--workers", "1", "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert rc == 0
+        assert "2 cached" in capsys.readouterr().out
