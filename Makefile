@@ -1,6 +1,6 @@
 # Convenience targets for the biglittle-repro repository.
 
-.PHONY: install test bench artifacts calibrate examples clean
+.PHONY: install test bench bench-quick artifacts calibrate examples clean
 
 install:
 	pip install -e .
@@ -10,6 +10,10 @@ test:
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
+
+# Fast-path vs reference engine comparison; writes BENCH_engine.json.
+bench-quick:
+	PYTHONPATH=src python scripts/bench_engine.py --quick --out BENCH_engine.json
 
 # Regenerate every paper table/figure into results/.
 artifacts:

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Benchmark the engine's idle fast-forward against the reference loop.
+
+Runs a set of scenarios twice — once with ``fastpath=False`` (the
+reference tick-by-tick loop) and once with the fast path enabled — and
+reports wall-clock time, simulated ticks per second, and the speedup
+ratio for each.  Results go to stdout and, with ``--out``, to a JSON
+file (``BENCH_engine.json`` by convention; consumed by CI as a
+non-blocking trend artifact).
+
+Scenario families:
+
+- *standby*: a 1 Hz housekeeping timer — the screen-off/background case
+  the fast-forward targets; nearly the whole run is one idle span.
+- low-utilization interactive apps (voice-call, video-player, browser):
+  60 Hz ambient work bounds spans to a frame period, so gains are
+  modest but must still be gains.
+- *spec-like* CPU-bound compute: zero idle; guards against the fast
+  path's eligibility checks slowing the hot loop (>5% is a regression).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_engine.py --quick --out BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.platform.perfmodel import COMPUTE_BOUND
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.task import Sleep, Task, Work
+from repro.workloads.mobile import make_app
+
+
+def _standby(ctx):
+    while True:
+        yield Work(0.002)
+        yield Sleep(1.0)
+
+
+def _spec_like(ctx):
+    # Pure compute, never sleeps: the engine's worst case for the fast
+    # path (eligibility is probed every tick and never granted).
+    while True:
+        yield Work(10.0)
+
+
+def _install_app(name):
+    def install(sim):
+        make_app(name).install(sim)
+
+    return install
+
+
+def _install_task(name, behavior, count=1):
+    def install(sim):
+        for i in range(count):
+            sim.spawn(Task(f"{name}-{i}", behavior, COMPUTE_BOUND))
+
+    return install
+
+
+def scenarios(quick: bool):
+    app_s = 4.0 if quick else 12.0
+    standby_s = 10.0 if quick else 60.0
+    spec_s = 2.0 if quick else 6.0
+    return [
+        ("standby-1hz", standby_s, _install_task("standby", _standby)),
+        ("voice-call", app_s, _install_app("voice-call")),
+        ("video-player", app_s, _install_app("video-player")),
+        ("browser", app_s, _install_app("browser")),
+        ("spec-compute", spec_s, _install_task("spec", _spec_like, count=4)),
+    ]
+
+
+def run_once(install, seconds: float, seed: int, fastpath: bool):
+    sim = Simulator(SimConfig(max_seconds=seconds, seed=seed, fastpath=fastpath))
+    install(sim)
+    start = time.perf_counter()
+    trace = sim.run()
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "ticks": len(trace),
+        "ticks_per_sec": len(trace) / wall if wall > 0 else float("inf"),
+        "fastforward_ticks": sim.fastforward_ticks,
+        "fastforward_spans": sim.fastforward_spans,
+    }
+
+
+def bench(quick: bool, seed: int, repeats: int):
+    rows = []
+    for name, seconds, install in scenarios(quick):
+        ref = min(
+            (run_once(install, seconds, seed, False) for _ in range(repeats)),
+            key=lambda r: r["wall_s"],
+        )
+        fast = min(
+            (run_once(install, seconds, seed, True) for _ in range(repeats)),
+            key=lambda r: r["wall_s"],
+        )
+        rows.append({
+            "scenario": name,
+            "sim_seconds": seconds,
+            "reference": ref,
+            "fastpath": fast,
+            "speedup": ref["wall_s"] / fast["wall_s"],
+        })
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short runs for CI (seconds instead of minutes)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed repetitions per path; best is kept")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write results JSON (e.g. BENCH_engine.json)")
+    args = parser.parse_args(argv)
+
+    rows = bench(args.quick, args.seed, args.repeats)
+
+    header = f"{'scenario':<14} {'ref s':>8} {'fast s':>8} {'speedup':>8} {'fast ticks/s':>13} {'ff ticks':>9}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['scenario']:<14} {row['reference']['wall_s']:>8.3f} "
+              f"{row['fastpath']['wall_s']:>8.3f} {row['speedup']:>7.2f}x "
+              f"{row['fastpath']['ticks_per_sec']:>13.0f} "
+              f"{row['fastpath']['fastforward_ticks']:>9}")
+
+    best = max(rows, key=lambda r: r["speedup"])
+    worst = min(rows, key=lambda r: r["speedup"])
+    print(f"\nbest: {best['scenario']} {best['speedup']:.2f}x; "
+          f"worst: {worst['scenario']} {worst['speedup']:.2f}x")
+
+    if args.out:
+        payload = {
+            "quick": args.quick,
+            "seed": args.seed,
+            "repeats": args.repeats,
+            "scenarios": rows,
+            "best_speedup": best["speedup"],
+            "worst_speedup": worst["speedup"],
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"[json written to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@ Usage::
     biglittle run table3           # run one experiment and print it
     biglittle run fig2 --seed 3
     biglittle characterize bbench  # full characterization of one app
+    biglittle cprofile browser --top 20 --pstats browser.pstats
     biglittle batch --apps bbench --configs L4+B4,L2+B1 --workers 4
     biglittle sweep coreconfig --workers 8   # fig07/08 on all cores
 """
@@ -60,6 +61,46 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(profiler.render(top=args.top))
     print()
     print(f"run: {trace.duration_s:.1f} s, {trace.average_power_mw():.0f} mW average")
+    return 0
+
+
+def _cmd_cprofile(args: argparse.Namespace) -> int:
+    """Run one simulation under cProfile and print the hottest functions."""
+    import cProfile
+    import pstats
+
+    from repro.core.study import FPS_APP_SECONDS, LATENCY_APP_CAP_SECONDS
+    from repro.platform.chip import exynos5422
+    from repro.sim.engine import SimConfig, Simulator
+    from repro.workloads.base import Metric
+    from repro.workloads.mobile import make_app
+
+    app = make_app(args.app)
+    max_seconds = (
+        FPS_APP_SECONDS if app.metric is Metric.FPS else LATENCY_APP_CAP_SECONDS
+    )
+    sim = Simulator(SimConfig(
+        chip=exynos5422(screen_on=True),
+        max_seconds=max_seconds,
+        seed=args.seed,
+        fastpath=not args.reference,
+    ))
+    app.install(sim)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    trace = sim.run()
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    path = "fast-forward disabled" if args.reference else (
+        f"{sim.fastforward_ticks}/{len(trace)} ticks fast-forwarded "
+        f"in {sim.fastforward_spans} spans"
+    )
+    print(f"run: {trace.duration_s:.1f} s simulated, {path}")
+    if args.pstats:
+        stats.dump_stats(args.pstats)
+        print(f"[pstats written to {args.pstats}]")
     return 0
 
 
@@ -222,6 +263,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--seed", type=int, default=0)
     p_prof.add_argument("--top", type=int, default=15)
     p_prof.set_defaults(func=_cmd_profile)
+
+    p_cprof = sub.add_parser(
+        "cprofile",
+        help="run one app under cProfile and print the hottest functions",
+    )
+    p_cprof.add_argument("app", choices=MOBILE_APP_NAMES)
+    p_cprof.add_argument("--seed", type=int, default=0)
+    p_cprof.add_argument("--top", type=int, default=25,
+                         help="rows of cumulative-time stats to print")
+    p_cprof.add_argument("--pstats", metavar="PATH", default=None,
+                         help="also dump raw pstats data to PATH")
+    p_cprof.add_argument("--reference", action="store_true",
+                         help="pin the reference tick loop (no fast-forward)")
+    p_cprof.set_defaults(func=_cmd_cprofile)
 
     p_tl = sub.add_parser("timeline", help="ASCII activity/frequency timeline")
     p_tl.add_argument("app", choices=MOBILE_APP_NAMES)

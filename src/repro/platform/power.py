@@ -106,8 +106,14 @@ class PowerParams:
 class PowerModel:
     """Evaluates core, cluster, and system power from runtime state."""
 
+    #: Memo entries kept before the cache is dropped wholesale.  Idle and
+    #: governor-quantized states recur endlessly (high hit rate); fully
+    #: continuous busy fractions would otherwise grow the dict unbounded.
+    _CACHE_LIMIT = 65536
+
     def __init__(self, params: PowerParams | None = None):
         self.params = params or PowerParams()
+        self._core_mw_cache: dict[tuple, float] = {}
 
     def core_power_mw(
         self,
@@ -124,7 +130,13 @@ class PowerModel:
         executing (the remainder is WFI idle at reduced leakage, or the
         deep power-down residue when ``deep_idle`` is set — the engine
         sets it once a core has been idle past ``deep_idle_entry_ms``).
+        Results are memoized on the argument tuple; a cached entry was
+        necessarily computed from valid arguments.
         """
+        key = (core_type, freq_khz, voltage_v, busy_fraction, activity_factor, deep_idle)
+        cached = self._core_mw_cache.get(key)
+        if cached is not None:
+            return cached
         if not 0.0 <= busy_fraction <= 1.0:
             raise ValueError(f"busy_fraction must be in [0, 1], got {busy_fraction}")
         p = self.params.core[core_type]
@@ -144,7 +156,11 @@ class PowerModel:
             * busy_fraction
             * activity_factor
         )
-        return static + dynamic
+        result = static + dynamic
+        if len(self._core_mw_cache) >= self._CACHE_LIMIT:
+            self._core_mw_cache.clear()
+        self._core_mw_cache[key] = result
+        return result
 
     def cluster_power_mw(self, core_type: CoreType, enabled: bool) -> float:
         """Uncore/L2 power of one cluster."""

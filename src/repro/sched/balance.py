@@ -34,6 +34,12 @@ def balance_cluster(cores: list[SimCore], max_moves: int = 16) -> int:
     """
     if len(cores) < 2:
         return 0
+    # Cheap pre-check: the loop below would pick src/dst maximizing and
+    # minimizing (nr_running, ...) and stop immediately when the counts
+    # differ by less than two — the common all-balanced tick.
+    counts = [c.nr_running() for c in cores]
+    if max(counts) - min(counts) < 2:
+        return 0
     moves = 0
     while moves < max_moves:
         src = most_loaded(cores)

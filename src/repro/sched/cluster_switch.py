@@ -29,6 +29,11 @@ from repro.sim.task import Task, TaskState
 class ClusterSwitchingScheduler(HMPScheduler):
     """All-or-nothing cluster residency with load-based switching."""
 
+    #: The idle-tick counter that eventually parks the system on the
+    #: little cluster evolves while everything sleeps, so idle ticks are
+    #: NOT no-ops and the engine must not fast-forward over them.
+    idle_tick_is_noop = False
+
     def __init__(self, cores: list[SimCore], params: HMPParams):
         super().__init__(cores, params)
         # Start on the energy-efficient cluster when it exists.

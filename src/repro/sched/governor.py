@@ -72,6 +72,31 @@ class Governor:
     def tick(self, domain: ClusterFreqDomain, tick_index: int, tick_s: float) -> None:
         raise NotImplementedError
 
+    def idle_tick_span(
+        self, domain: ClusterFreqDomain, start_tick: int, n_ticks: int, tick_s: float
+    ) -> list[tuple[int, int]]:
+        """Advance ``n_ticks`` governor ticks over a span where every core
+        of the domain is fully idle (no core executes, so no
+        ``busy_in_window_s`` accumulates between this governor's own
+        resets).
+
+        Returns the frequency changes as ``(tick_offset, freq_khz)``
+        pairs, where the new frequency is what the engine would record
+        for ``start_tick + tick_offset``.  The base implementation simply
+        calls :meth:`tick` — exact for *any* governor, and already far
+        cheaper than full engine ticks; subclasses with per-tick counters
+        may override it with an O(sample-boundaries) equivalent, but must
+        remain bit-exact with the tick-by-tick loop.
+        """
+        changes: list[tuple[int, int]] = []
+        freq = domain.freq_khz
+        for offset in range(n_ticks):
+            self.tick(domain, start_tick + offset, tick_s)
+            if domain.freq_khz != freq:
+                freq = domain.freq_khz
+                changes.append((offset, freq))
+        return changes
+
 
 class InteractiveGovernor(Governor):
     """The load-tracking interactive governor (paper Algorithm 2)."""
@@ -113,6 +138,10 @@ class InteractiveGovernor(Governor):
             self._boost_ticks_left -= 1
         if self._window_ticks < self._sampling_ticks:
             return
+        self._evaluate_window(domain, tick_s)
+
+    def _evaluate_window(self, domain: ClusterFreqDomain, tick_s: float) -> None:
+        """Close the sampling window and re-evaluate the cluster frequency."""
         window_s = self._window_ticks * tick_s
         self._window_ticks = 0
         if not domain.cores:
@@ -126,6 +155,33 @@ class InteractiveGovernor(Governor):
         if new_freq > domain.freq_khz:
             self._ticks_since_raise = 0
         domain.set_freq(new_freq)
+
+    def idle_tick_span(
+        self, domain: ClusterFreqDomain, start_tick: int, n_ticks: int, tick_s: float
+    ) -> list[tuple[int, int]]:
+        """O(sample-boundaries) idle span: between boundaries ``tick`` only
+        increments the three counters, so a whole inter-boundary stretch is
+        applied in one step; each boundary runs the same window evaluation
+        as the per-tick path (bit-exact — ``busy_in_window_s`` is frozen
+        while the cores are idle, except for this governor's own resets).
+        """
+        if self._sampling_ticks <= 0:  # not started; stay on the exact loop
+            return super().idle_tick_span(domain, start_tick, n_ticks, tick_s)
+        changes: list[tuple[int, int]] = []
+        done = 0
+        while done < n_ticks:
+            step = min(n_ticks - done, self._sampling_ticks - self._window_ticks)
+            self._window_ticks += step
+            self._ticks_since_raise += step
+            if self._boost_ticks_left > 0:
+                self._boost_ticks_left = max(0, self._boost_ticks_left - step)
+            done += step
+            if self._window_ticks >= self._sampling_ticks:
+                freq = domain.freq_khz
+                self._evaluate_window(domain, tick_s)
+                if domain.freq_khz != freq:
+                    changes.append((done - 1, domain.freq_khz))
+        return changes
 
     def _next_freq(self, domain: ClusterFreqDomain, util: float) -> int:
         p = self.params
@@ -147,17 +203,30 @@ class InteractiveGovernor(Governor):
         return freq
 
 
-class PerformanceGovernor(Governor):
+class PinnedGovernor(Governor):
+    """Base for governors whose per-tick evaluation is a no-op.
+
+    The frequency is chosen once in :meth:`start`; ticking carries no
+    state, so an idle span of any length leaves nothing to replay.
+    """
+
+    def tick(self, domain: ClusterFreqDomain, tick_index: int, tick_s: float) -> None:
+        return
+
+    def idle_tick_span(
+        self, domain: ClusterFreqDomain, start_tick: int, n_ticks: int, tick_s: float
+    ) -> list[tuple[int, int]]:
+        return []
+
+
+class PerformanceGovernor(PinnedGovernor):
     """Pins the cluster at its maximum frequency."""
 
     def start(self, domain: ClusterFreqDomain) -> None:
         domain.set_freq(domain.opp_table.max_khz)
 
-    def tick(self, domain: ClusterFreqDomain, tick_index: int, tick_s: float) -> None:
-        return
 
-
-class FixedFrequencyGovernor(Governor):
+class FixedFrequencyGovernor(PinnedGovernor):
     """Pins the cluster at one chosen OPP (for the Section III sweeps)."""
 
     def __init__(self, freq_khz: int):
@@ -166,18 +235,12 @@ class FixedFrequencyGovernor(Governor):
     def start(self, domain: ClusterFreqDomain) -> None:
         domain.set_freq(domain.opp_table.ceil(self.freq_khz))
 
-    def tick(self, domain: ClusterFreqDomain, tick_index: int, tick_s: float) -> None:
-        return
 
-
-class PowersaveGovernor(Governor):
+class PowersaveGovernor(PinnedGovernor):
     """Pins the cluster at its minimum frequency."""
 
     def start(self, domain: ClusterFreqDomain) -> None:
         domain.set_freq(domain.opp_table.min_khz)
-
-    def tick(self, domain: ClusterFreqDomain, tick_index: int, tick_s: float) -> None:
-        return
 
 
 class OndemandGovernor(Governor):

@@ -30,6 +30,12 @@ from repro.sim.task import Task, TaskState
 class HMPScheduler:
     """Migration scheduler over one little and one big core group."""
 
+    #: True when :meth:`tick` is observably a no-op while every runqueue
+    #: is empty (no idle counters, no time-based switching).  The engine's
+    #: idle fast-forward may skip scheduler ticks only when this holds;
+    #: schedulers that evolve state across idle ticks must set it False.
+    idle_tick_is_noop = True
+
     def __init__(self, cores: list[SimCore], params: HMPParams):
         self.params = params
         self._by_id = {c.core_id: c for c in cores}
@@ -90,7 +96,7 @@ class HMPScheduler:
         """Run one migration + balancing pass; returns migrations done."""
         migrations = 0
         for core in cores:
-            if not core.enabled:
+            if not core.enabled or not core.runqueue:
                 continue
             # Snapshot: migration mutates runqueues.
             for task in list(core.runqueue):
@@ -119,6 +125,8 @@ class HMPScheduler:
             return 0
         moves = 0
         for big in self.big_cores:
+            if len(big.runqueue) < 2:  # nr_running() <= len(runqueue)
+                continue
             while big.nr_running() >= 2:
                 idle_little = least_loaded(self.little_cores)
                 if idle_little.nr_running() > 0:

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.platform.coretypes import CoreSpec, CoreType
-from repro.platform.perfmodel import WorkClass, throughput_units_per_sec
+from repro.platform.perfmodel import WorkClass, cached_throughput
 from repro.sim.task import Task, TaskState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -93,9 +93,12 @@ class SimCore:
 
     def execute_tick(self, tick_s: float, sim: "Simulator") -> None:
         """Run this core's runnable tasks for one tick (water-filling)."""
-        if not self.enabled:
+        if not self.enabled or not self.runqueue:
             return
         remaining = tick_s
+        # Frequency and contention are fixed for the whole tick, so one
+        # throughput closure serves every task and water-filling round.
+        throughput_fn = self._throughput_fn()
         # Tasks woken mid-loop by other cores' posts are handled next tick,
         # so snapshot the runnable set per water-filling round.
         while remaining > _TIME_EPS_S:
@@ -110,7 +113,7 @@ class SimCore:
             used_sum = 0.0
             any_blocked = False
             for task in active:
-                used = task.run_for(share, self._throughput_fn(), sim)
+                used = task.run_for(share, throughput_fn, sim)
                 used_sum += used
                 self.activity_weighted_s += used * task.current_activity_factor()
                 if task.state is not TaskState.RUNNABLE:
@@ -127,9 +130,7 @@ class SimCore:
         spec, freq, contention = self.spec, self.freq_khz, self.memory_contention
 
         def tput(work_class: WorkClass) -> float:
-            return throughput_units_per_sec(
-                spec, freq, work_class, memory_contention=contention
-            )
+            return cached_throughput(spec, freq, work_class, contention)
 
         return tput
 

@@ -13,11 +13,24 @@ Tick pipeline (1 ms per tick):
 
 The engine stops at ``max_seconds``, when a task requests a stop (used
 by latency-app driver scripts), or when every task has finished.
+
+**Idle fast-forward.**  Interactive workloads are mostly idle (the
+paper's central observation), so the engine fast-forwards over spans in
+which no core has a runnable task: it computes the next event horizon
+(earliest sleeper wake-up, capped at ``max_ticks``), replays the
+governors' idle evolution via :meth:`Governor.idle_tick_span`, and
+backfills the trace's busy/freq/power columns in vectorized
+piecewise-constant blocks.  The fast path is **bit-exact** with the
+reference tick-by-tick loop — see ``docs/architecture.md`` for the
+eligibility invariants — and is pinned off with
+``SimConfig(fastpath=False)`` or ``REPRO_ENGINE_FASTPATH=0``.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -40,6 +53,10 @@ from repro.sim.task import Channel, Task, TaskState
 from repro.sim.trace import Trace
 from repro.units import LOAD_SCALE, TICK_MS
 
+#: Shortest idle span worth the fast-forward setup cost; shorter spans
+#: fall through to the (equivalent) reference steps.
+_MIN_FASTFORWARD_TICKS = 8
+
 
 @dataclass
 class SimConfig:
@@ -61,6 +78,10 @@ class SimConfig:
     gpu: Optional[GpuSpec] = None
     max_seconds: float = 30.0
     seed: int = 0
+    #: Allow the bit-exact idle fast-forward path.  False pins the
+    #: reference tick-by-tick loop (as does ``REPRO_ENGINE_FASTPATH=0``
+    #: in the environment) — useful when debugging or validating traces.
+    fastpath: bool = True
 
     def __post_init__(self) -> None:
         if self.core_config is None:
@@ -135,12 +156,38 @@ class Simulator:
         )
 
         self.tasks: list[Task] = []
-        self._sleeping: list[Task] = []
+        #: Min-heap of ``(wake_tick, seq, task)`` sleepers.  The ``seq``
+        #: tiebreaker preserves the FIFO wake order of the former
+        #: list-scan implementation for tasks due on the same tick.
+        self._sleep_heap: list[tuple[int, int, Task]] = []
+        self._sleep_seq = 0
         self._watched_channels: list[Channel] = []
         self._unfinished = 0
         self._tick_hooks: list[Callable[["Simulator"], None]] = []
         self._wakeups_this_tick = 0
         self._busy_cores_prev = 0
+
+        # Hoisted per-tick constants.
+        self._pm = chip.power_model
+        self._deep_entry_ticks = (
+            self._pm.params.deep_idle_entry_ms / (self.tick_s * 1000.0)
+        )
+
+        # Idle fast-forward: statically eligible only when every per-tick
+        # side channel is provably inert while nothing is runnable.
+        # Thermal state integrates every tick and the GPU has its own
+        # per-tick governor/energy accounting, so either disables it.
+        env = os.environ.get("REPRO_ENGINE_FASTPATH", "1").strip().lower()
+        self.fastpath_enabled = (
+            config.fastpath
+            and env not in ("0", "false", "off", "no")
+            and config.thermal is None
+            and config.gpu is None
+            and getattr(self.hmp, "idle_tick_is_noop", False)
+        )
+        #: Fast-forward statistics (spans taken, ticks skipped over).
+        self.fastforward_spans = 0
+        self.fastforward_ticks = 0
 
         self.trace = Trace(
             core_types=[c.core_type for c in self.cores],
@@ -212,7 +259,8 @@ class Simulator:
         if task.core_id is not None:
             self.cores[task.core_id].dequeue(task)
         if task.state is TaskState.SLEEPING:
-            self._sleeping.append(task)
+            self._sleep_seq += 1
+            heapq.heappush(self._sleep_heap, (task.wake_tick, self._sleep_seq, task))
 
     def on_task_finished(self, task: Task) -> None:
         if task.core_id is not None:
@@ -244,19 +292,21 @@ class Simulator:
             self.hmp.place_wakeup(task).enqueue(task)
 
     def _process_wakeups(self) -> None:
-        # Sleep expirations.
-        if self._sleeping:
-            due = [t for t in self._sleeping if t.wake_tick is not None and t.wake_tick <= self.tick]
-            if due:
-                self._sleeping = [t for t in self._sleeping if t not in due]
-                for task in due:
-                    self._wake(task)
+        # Sleep expirations, in (wake_tick, sleep-order) order.  Every
+        # due task slept to exactly this tick (earlier ticks drained
+        # earlier), so the seq tiebreaker reproduces the old list scan's
+        # FIFO order and traces are unchanged.  Chained sleeps pushed by
+        # ``_wake`` always target a future tick, so the loop terminates.
+        heap = self._sleep_heap
+        while heap and heap[0][0] <= self.tick:
+            _, _, task = heapq.heappop(heap)
+            self._wake(task)
         # Channel signals (FIFO per channel).
         if self._watched_channels:
             still_watched = []
             for chan in self._watched_channels:
                 while chan.waiters and chan.permits >= chan.waiters[0][1]:
-                    task, needed = chan.waiters.pop(0)
+                    task, needed = chan.waiters.popleft()
                     chan.permits -= needed
                     self._wake(task)
                 if chan.waiters:
@@ -268,11 +318,139 @@ class Simulator:
     def run(self) -> Trace:
         """Run to completion and return the finalized trace."""
         while self.tick < self.max_ticks and not self._stop_requested:
+            span = self._idle_horizon()
+            if span >= _MIN_FASTFORWARD_TICKS:
+                self._fast_forward_idle(span)
+                continue
             self._step()
             if self._unfinished == 0:
                 break
         self.trace.finalize()
         return self.trace
+
+    # -- idle fast-forward -------------------------------------------------
+
+    def _idle_horizon(self) -> int:
+        """Ticks until the next event, or 0 when fast-forward is ineligible.
+
+        Eligible means this tick and every following one up to the
+        horizon would be a pure idle tick on the reference path: nothing
+        runnable anywhere, no sleeper due, no channel wake pending, no
+        observer hook, and (checked statically in ``fastpath_enabled``)
+        no thermal/GPU state and a scheduler whose idle ticks are no-ops.
+        The horizon is the earliest sleeper wake-up, capped at the run's
+        end; within it no new work can appear, because only running tasks
+        (or the excluded GPU) post signals or spawn wake-ups.
+        """
+        if not self.fastpath_enabled or self._tick_hooks or self._unfinished == 0:
+            return 0
+        for core in self.cores:
+            if core.runqueue:
+                return 0
+        for chan in self._watched_channels:
+            if chan.waiters and chan.permits >= chan.waiters[0][1]:
+                return 0
+        horizon = self.max_ticks
+        if self._sleep_heap and self._sleep_heap[0][0] < horizon:
+            horizon = self._sleep_heap[0][0]
+        return horizon - self.tick
+
+    def _fast_forward_idle(self, n: int) -> None:
+        """Advance ``n`` fully-idle ticks in one step, bit-exactly.
+
+        Governors replay their idle evolution via ``idle_tick_span``
+        (domains are independent, so per-domain batching matches the
+        reference interleaving); power is piecewise-constant between
+        frequency changes and per-core deep-idle entries, so the trace is
+        backfilled in one ``record_block`` per segment, with every float
+        computed and accumulated exactly as ``_record_tick`` would.
+        """
+        start = self.tick
+        pm = self._pm
+        deep_entry = self._deep_entry_ticks
+        dom_little = self.domains[CoreType.LITTLE]
+        dom_big = self.domains[CoreType.BIG]
+        freq_little = dom_little.freq_khz
+        freq_big = dom_big.freq_khz
+
+        changes: dict[CoreType, list[tuple[int, int]]] = {
+            CoreType.LITTLE: [],
+            CoreType.BIG: [],
+        }
+        for core_type, governor in self.governors.items():
+            changes[core_type] = governor.idle_tick_span(
+                self.domains[core_type], start, n, self.tick_s
+            )
+
+        # Segment boundaries: span ends, governor frequency changes, and
+        # each enabled core's deep-idle entry (idle_ticks crosses the
+        # threshold at most once inside the span).
+        enabled = [c for c in self.cores if c.enabled]
+        idle_base = {c.core_id: c.idle_ticks for c in enabled}
+        cuts = {0, n}
+        for change_list in changes.values():
+            for offset, _ in change_list:
+                cuts.add(offset)
+        deep_min = math.ceil(deep_entry)  # smallest idle-tick count that is deep
+        for core in enabled:
+            crossing = deep_min - idle_base[core.core_id] - 1
+            if 0 < crossing < n:
+                cuts.add(crossing)
+
+        cluster_powers = [
+            pm.cluster_power_mw(ct, any(c.enabled for c in self.domains[ct].cores))
+            for ct in (CoreType.LITTLE, CoreType.BIG)
+        ]
+        little_changes = changes[CoreType.LITTLE]
+        big_changes = changes[CoreType.BIG]
+        i_little = i_big = 0
+        ordered_cuts = sorted(cuts)
+        for a, b in zip(ordered_cuts, ordered_cuts[1:]):
+            while i_little < len(little_changes) and little_changes[i_little][0] <= a:
+                freq_little = little_changes[i_little][1]
+                i_little += 1
+            while i_big < len(big_changes) and big_changes[i_big][0] <= a:
+                freq_big = big_changes[i_big][1]
+                i_big += 1
+            volt_little = dom_little.opp_table.voltage_at(freq_little)
+            volt_big = dom_big.opp_table.voltage_at(freq_big)
+            core_powers = []
+            little_cpu_mw = big_cpu_mw = 0.0
+            for core in enabled:
+                # Same comparison as _record_tick: after this tick's
+                # increment the core has been idle idle_base + a + 1 ticks.
+                deep = idle_base[core.core_id] + a + 1 >= deep_entry
+                if core.core_type is CoreType.LITTLE:
+                    core_mw = pm.core_power_mw(
+                        CoreType.LITTLE, freq_little, volt_little, 0.0, 1.0,
+                        deep_idle=deep,
+                    )
+                    little_cpu_mw += core_mw
+                else:
+                    core_mw = pm.core_power_mw(
+                        CoreType.BIG, freq_big, volt_big, 0.0, 1.0,
+                        deep_idle=deep,
+                    )
+                    big_cpu_mw += core_mw
+                core_powers.append(core_mw)
+            power = pm.system_power_mw(core_powers, cluster_powers)
+            self.trace.record_block(
+                b - a,
+                freq_little,
+                freq_big,
+                power,
+                wakeups=0,
+                little_cpu_mw=little_cpu_mw,
+                big_cpu_mw=big_cpu_mw,
+            )
+
+        for core in enabled:
+            core.idle_ticks += n
+        self._busy_cores_prev = 0
+        self._wakeups_this_tick = 0
+        self.tick = start + n
+        self.fastforward_spans += 1
+        self.fastforward_ticks += n
 
     def _step(self) -> None:
         self._wakeups_this_tick = 0
@@ -311,13 +489,20 @@ class Simulator:
                 task.load.update(runnable_frac * freq_scale * LOAD_SCALE)
 
     def _record_tick(self) -> None:
-        pm = self.config.chip.power_model
-        deep_entry_ticks = pm.params.deep_idle_entry_ms / (self.tick_s * 1000.0)
+        pm = self._pm
+        deep_entry_ticks = self._deep_entry_ticks
+        tick_s = self.tick_s
+        dom_little = self.domains[CoreType.LITTLE]
+        dom_big = self.domains[CoreType.BIG]
+        # Cluster voltage is shared; evaluate it once per tick per domain
+        # instead of once per core.
+        volt_little = dom_little.voltage_v()
+        volt_big = dom_big.voltage_v()
         busy = []
         core_powers = []
-        cluster_cpu_mw = {CoreType.LITTLE: 0.0, CoreType.BIG: 0.0}
+        little_cpu_mw = big_cpu_mw = 0.0
         for core in self.cores:
-            frac = core.busy_fraction(self.tick_s) if core.enabled else 0.0
+            frac = core.busy_fraction(tick_s) if core.enabled else 0.0
             busy.append(frac)
             if core.enabled:
                 # cpuidle: WFI immediately; deep power-down after the
@@ -326,17 +511,20 @@ class Simulator:
                     core.idle_ticks += 1
                 else:
                     core.idle_ticks = 0
-                domain = self.domains[core.core_type]
+                is_little = core.core_type is CoreType.LITTLE
                 core_mw = pm.core_power_mw(
                     core.core_type,
                     core.freq_khz,
-                    domain.voltage_v(),
+                    volt_little if is_little else volt_big,
                     frac,
                     core.mean_activity_factor(),
                     deep_idle=core.idle_ticks >= deep_entry_ticks,
                 )
                 core_powers.append(core_mw)
-                cluster_cpu_mw[core.core_type] += core_mw
+                if is_little:
+                    little_cpu_mw += core_mw
+                else:
+                    big_cpu_mw += core_mw
         cluster_powers = [
             pm.cluster_power_mw(ct, any(c.enabled for c in self.domains[ct].cores))
             for ct in (CoreType.LITTLE, CoreType.BIG)
@@ -344,16 +532,16 @@ class Simulator:
         self._busy_cores_prev = sum(1 for b in busy if b > 0.0)
         power = pm.system_power_mw(core_powers, cluster_powers)
         if self.gpu is not None:
-            power += self.gpu.tick(self.tick_s)
+            power += self.gpu.tick(tick_s)
         if self.thermal is not None:
-            cap = self.thermal.step(power, self.tick_s)
-            self.domains[CoreType.BIG].set_cap(cap)
+            cap = self.thermal.step(power, tick_s)
+            dom_big.set_cap(cap)
         self.trace.record(
             busy,
-            self.domains[CoreType.LITTLE].freq_khz,
-            self.domains[CoreType.BIG].freq_khz,
+            dom_little.freq_khz,
+            dom_big.freq_khz,
             power,
             wakeups=self._wakeups_this_tick,
-            little_cpu_mw=cluster_cpu_mw[CoreType.LITTLE],
-            big_cpu_mw=cluster_cpu_mw[CoreType.BIG],
+            little_cpu_mw=little_cpu_mw,
+            big_cpu_mw=big_cpu_mw,
         )

@@ -27,6 +27,7 @@ Example::
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Generator, Optional, TYPE_CHECKING
 
@@ -96,8 +97,9 @@ class Channel:
     def __init__(self, name: str = "chan"):
         self.name = name
         self.permits = 0
-        # FIFO of (task, needed) waiters, managed by the engine.
-        self.waiters: list[tuple["Task", int]] = []
+        # FIFO of (task, needed) waiters, managed by the engine.  A deque
+        # keeps the engine's head-of-line wake O(1) instead of list.pop(0).
+        self.waiters: deque[tuple["Task", int]] = deque()
 
     def __repr__(self) -> str:
         return f"Channel({self.name!r}, permits={self.permits}, waiters={len(self.waiters)})"

@@ -57,6 +57,41 @@ class Trace:
         self._wakeups[i] = wakeups
         self._len += 1
 
+    def record_block(
+        self,
+        n_ticks: int,
+        little_freq_khz: int,
+        big_freq_khz: int,
+        power_mw: float,
+        wakeups: int = 0,
+        little_cpu_mw: float = 0.0,
+        big_cpu_mw: float = 0.0,
+        busy_fraction: float = 0.0,
+    ) -> None:
+        """Record ``n_ticks`` consecutive ticks sharing one set of values.
+
+        The bulk-append twin of :meth:`record`, used by the engine's idle
+        fast-forward to backfill a piecewise-constant span in one
+        vectorized assignment per column.  Values land in the arrays
+        exactly as ``n_ticks`` individual :meth:`record` calls would
+        (identical float32 casts), so fast-forwarded traces stay
+        bit-exact with tick-by-tick recording.
+        """
+        if n_ticks <= 0:
+            raise ValueError(f"n_ticks must be positive, got {n_ticks}")
+        i = self._len
+        j = i + n_ticks
+        if j > self._busy.shape[1]:
+            raise RuntimeError("trace capacity exceeded")
+        self._busy[:, i:j] = busy_fraction
+        self._freq[0, i:j] = little_freq_khz
+        self._freq[1, i:j] = big_freq_khz
+        self._power[i:j] = power_mw
+        self._cpu_power[0, i:j] = little_cpu_mw
+        self._cpu_power[1, i:j] = big_cpu_mw
+        self._wakeups[i:j] = wakeups
+        self._len = j
+
     def finalize(self) -> None:
         if not self._finalized:
             self._busy = self._busy[:, : self._len]

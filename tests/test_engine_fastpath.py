@@ -1,0 +1,212 @@
+"""Golden-trace equivalence tests for the idle fast-forward engine.
+
+The fast path must be *bit-exact* with the reference tick-by-tick loop:
+for every workload/config/seed combination the busy, frequency, power,
+per-cluster CPU power, and wakeup trace columns are compared with
+``np.array_equal`` (no tolerance).  Configurations that the fast path
+must refuse (thermal model, GPU, cluster-switching scheduler, env/config
+pins) are additionally checked to have fast-forwarded zero ticks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.platform.chip import CoreConfig
+from repro.platform.coretypes import CoreType
+from repro.platform.gpu import GpuSpec
+from repro.platform.perfmodel import COMPUTE_BOUND
+from repro.platform.thermal import ThermalParams
+from repro.sched.cluster_switch import ClusterSwitchingScheduler
+from repro.sched.efficiency_sched import EfficiencyScheduler
+from repro.sched.governor import (
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+)
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.task import Sleep, Task, WaitSignal, Work
+from repro.workloads.mobile import make_app
+
+
+def run_pair(make_config, install):
+    """Run the same scenario on the reference and fast paths."""
+    sims = []
+    for fastpath in (False, True):
+        config = make_config()
+        config.fastpath = fastpath
+        sim = Simulator(config)
+        install(sim)
+        sim.run()
+        sims.append(sim)
+    return sims
+
+
+def assert_traces_equal(ref, fast):
+    tr_ref, tr_fast = ref.trace, fast.trace
+    assert np.array_equal(tr_ref.busy, tr_fast.busy)
+    assert np.array_equal(tr_ref.power_mw, tr_fast.power_mw)
+    assert np.array_equal(tr_ref.wakeups, tr_fast.wakeups)
+    for ct in (CoreType.LITTLE, CoreType.BIG):
+        assert np.array_equal(tr_ref.freq_khz(ct), tr_fast.freq_khz(ct))
+        assert np.array_equal(tr_ref.cpu_power_mw(ct), tr_fast.cpu_power_mw(ct))
+    assert tr_ref.average_power_mw() == tr_fast.average_power_mw()
+    assert ref.fastforward_ticks == 0  # reference path never fast-forwards
+
+
+def standby_behavior(ctx):
+    """A 1 Hz housekeeping timer: long idle spans between tiny bursts."""
+    while True:
+        yield Work(0.002)
+        yield Sleep(1.0)
+
+
+class TestGoldenTraceEquivalence:
+    """Fast path produces byte-identical traces on eligible configs."""
+
+    @pytest.mark.parametrize(
+        "app,seed,kwargs",
+        [
+            ("pdf-reader", 1, {}),
+            ("video-player", 2, {}),
+            ("browser", 3, {"core_config": CoreConfig(little=2, big=2)}),
+            ("voice-call", 1, {"scheduler_factory": EfficiencyScheduler}),
+            ("social-feed", 4, {}),  # governors overridden below
+            ("maps", 5, {}),  # pinned governors below
+        ],
+        ids=["pdf", "video", "browser-L2B2", "voice-efficiency",
+             "social-ondemand", "maps-pinned"],
+    )
+    def test_mobile_app_traces_match(self, app, seed, kwargs):
+        def make_config():
+            extra = dict(kwargs)
+            if app == "social-feed":
+                # Ondemand has no idle_tick_span override, exercising the
+                # base replay loop.
+                extra["governors"] = {
+                    CoreType.LITTLE: OndemandGovernor(),
+                    CoreType.BIG: OndemandGovernor(),
+                }
+            elif app == "maps":
+                extra["governors"] = {
+                    CoreType.LITTLE: PowersaveGovernor(),
+                    CoreType.BIG: PerformanceGovernor(),
+                }
+            return SimConfig(max_seconds=3.0, seed=seed, **extra)
+
+        ref, fast = run_pair(make_config, lambda sim: make_app(app).install(sim))
+        assert_traces_equal(ref, fast)
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_standby_fast_forwards_and_matches(self, seed):
+        def install(sim):
+            sim.spawn(Task("standby", standby_behavior, COMPUTE_BOUND))
+
+        ref, fast = run_pair(
+            lambda: SimConfig(max_seconds=10.0, seed=seed), install
+        )
+        assert_traces_equal(ref, fast)
+        # The whole run is idle except the 1 Hz bursts: most ticks must
+        # have been covered by fast-forward spans.
+        assert fast.fastforward_ticks > 0.8 * fast.max_ticks
+
+    def test_low_util_app_actually_fast_forwards(self):
+        ref, fast = run_pair(
+            lambda: SimConfig(max_seconds=3.0, seed=1),
+            lambda sim: make_app("voice-call").install(sim),
+        )
+        assert fast.fastforward_ticks > 0
+        assert fast.fastforward_spans > 0
+
+    def test_sleepers_wake_in_fifo_order_across_paths(self):
+        """Tasks due the same tick wake in spawn order (heap seq tiebreak)."""
+
+        def make(order):
+            def behavior(ctx):
+                yield Sleep(0.5)
+                order.append(ctx.task_name)
+                yield Work(0.001)
+
+            return behavior
+
+        def run(fastpath):
+            order = []
+            sim = Simulator(SimConfig(max_seconds=2.0, seed=0, fastpath=fastpath))
+            for name in ("a", "b", "c", "d"):
+                sim.spawn(Task(name, make(order), COMPUTE_BOUND))
+            sim.run()
+            return order
+
+        assert run(False) == run(True) == ["a", "b", "c", "d"]
+
+
+class TestFastpathRefusal:
+    """Configs whose idle ticks are not no-ops must never fast-forward."""
+
+    def test_thermal_disables_fast_forward(self):
+        def install(sim):
+            sim.spawn(Task("standby", standby_behavior, COMPUTE_BOUND))
+
+        ref, fast = run_pair(
+            lambda: SimConfig(max_seconds=3.0, seed=1, thermal=ThermalParams()),
+            install,
+        )
+        assert not fast.fastpath_enabled
+        assert fast.fastforward_ticks == 0
+        assert_traces_equal(ref, fast)
+
+    def test_gpu_disables_fast_forward(self):
+        def install(sim):
+            def behavior(ctx):
+                chan = sim.channel("gpu-done")
+                while True:
+                    yield Work(0.001)
+                    sim.gpu.submit(0.01, chan)
+                    yield WaitSignal(chan)
+                    yield Sleep(0.2)
+
+            sim.spawn(Task("gpu-user", behavior, COMPUTE_BOUND))
+
+        ref, fast = run_pair(
+            lambda: SimConfig(max_seconds=3.0, seed=1, gpu=GpuSpec()), install
+        )
+        assert not fast.fastpath_enabled
+        assert fast.fastforward_ticks == 0
+        assert_traces_equal(ref, fast)
+
+    def test_cluster_switching_scheduler_disables_fast_forward(self):
+        ref, fast = run_pair(
+            lambda: SimConfig(
+                max_seconds=3.0, seed=1,
+                scheduler_factory=ClusterSwitchingScheduler,
+            ),
+            lambda sim: make_app("voice-call").install(sim),
+        )
+        assert not fast.fastpath_enabled  # idle_tick_is_noop is False
+        assert fast.fastforward_ticks == 0
+        assert_traces_equal(ref, fast)
+
+    def test_tick_hook_suppresses_fast_forward(self):
+        """An observer hook must see every tick, so spans are disabled."""
+        sim = Simulator(SimConfig(max_seconds=2.0, seed=0))
+        sim.spawn(Task("standby", standby_behavior, COMPUTE_BOUND))
+        seen = []
+        sim.add_tick_hook(lambda s: seen.append(s.tick))
+        sim.run()
+        assert sim.fastpath_enabled  # statically eligible...
+        assert sim.fastforward_ticks == 0  # ...but dynamically refused
+        assert len(seen) == len(sim.trace)
+
+    def test_env_var_pins_reference_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_FASTPATH", "0")
+        sim = Simulator(SimConfig(max_seconds=2.0, seed=0))
+        sim.spawn(Task("standby", standby_behavior, COMPUTE_BOUND))
+        sim.run()
+        assert not sim.fastpath_enabled
+        assert sim.fastforward_ticks == 0
+
+    def test_config_flag_pins_reference_path(self):
+        sim = Simulator(SimConfig(max_seconds=2.0, seed=0, fastpath=False))
+        sim.spawn(Task("standby", standby_behavior, COMPUTE_BOUND))
+        sim.run()
+        assert not sim.fastpath_enabled
+        assert sim.fastforward_ticks == 0
