@@ -28,12 +28,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 
+from repro.obs.logsetup import add_verbosity_args, get_logger, setup_from_args
+from repro.obs.timing import PhaseTimer
 from repro.platform.perfmodel import COMPUTE_BOUND
 from repro.sim.engine import SimConfig, Simulator
 from repro.sim.task import Sleep, Task, Work
 from repro.workloads.mobile import make_app
+
+log = get_logger("scripts.bench_engine")
 
 
 def _standby(ctx):
@@ -78,17 +81,20 @@ def scenarios(quick: bool):
 
 
 def run_once(install, seconds: float, seed: int, fastpath: bool):
-    sim = Simulator(SimConfig(max_seconds=seconds, seed=seed, fastpath=fastpath))
-    install(sim)
-    start = time.perf_counter()
-    trace = sim.run()
-    wall = time.perf_counter() - start
+    timer = PhaseTimer()
+    with timer.span("setup"):
+        sim = Simulator(SimConfig(max_seconds=seconds, seed=seed, fastpath=fastpath))
+        install(sim)
+    with timer.span("run"):
+        trace = sim.run()
+    wall = timer.seconds("run")
     return {
         "wall_s": wall,
         "ticks": len(trace),
         "ticks_per_sec": len(trace) / wall if wall > 0 else float("inf"),
         "fastforward_ticks": sim.fastforward_ticks,
         "fastforward_spans": sim.fastforward_spans,
+        "phases": timer.to_dict(),
     }
 
 
@@ -122,7 +128,9 @@ def main(argv=None) -> int:
                         help="timed repetitions per path; best is kept")
     parser.add_argument("--out", metavar="PATH", default=None,
                         help="write results JSON (e.g. BENCH_engine.json)")
+    add_verbosity_args(parser)
     args = parser.parse_args(argv)
+    setup_from_args(args)
 
     rows = bench(args.quick, args.seed, args.repeats)
 
@@ -151,7 +159,7 @@ def main(argv=None) -> int:
         }
         with open(args.out, "w") as fh:
             json.dump(payload, fh, indent=2)
-        print(f"[json written to {args.out}]")
+        log.info("json written to %s", args.out)
     return 0
 
 

@@ -27,8 +27,11 @@ from repro.experiments.fig09_10_freq import run_frequency_residency
 from repro.experiments.fig11_12_13_params import run_param_sweep
 from repro.experiments.table3_4_tlp import run_tlp_tables
 from repro.experiments.table5_efficiency import run_efficiency_table
+from repro.obs.logsetup import add_verbosity_args, get_logger, setup_from_args
 from repro.platform.chip import exynos5422
 from repro.runner import BatchRunner, ResultCache
+
+log = get_logger("scripts.collect_results")
 
 SEED = 7
 OUT = os.path.join(os.path.dirname(__file__), "..", "results")
@@ -48,7 +51,9 @@ def main(argv: list[str] | None = None) -> None:
         "--no-cache", action="store_true",
         help="always re-simulate, ignoring and not writing the result cache",
     )
+    add_verbosity_args(parser)
     args = parser.parse_args(argv)
+    setup_from_args(args)
 
     cache = None if args.no_cache else ResultCache(root=args.cache_dir)
     runner = BatchRunner(workers=args.workers, cache=cache)
@@ -73,7 +78,7 @@ def main(argv: list[str] | None = None) -> None:
         path = os.path.join(OUT, f"{name}.txt")
         with open(path, "w") as f:
             f.write(result.render() + "\n")
-        print(f"{name}: written in {time.time() - t0:.1f}s -> {path}")
+        log.info("%s: written in %.1fs -> %s", name, time.time() - t0, path)
 
 
 if __name__ == "__main__":

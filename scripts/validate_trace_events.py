@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Validate Chrome/Perfetto trace-event JSON files (CI gate).
+
+Run: PYTHONPATH=src python scripts/validate_trace_events.py trace.json [...]
+
+Thin wrapper over :func:`repro.obs.export.validate_trace_events`; exits
+non-zero and lists the problems if any file violates the trace-event
+structural invariants the Perfetto importer relies on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.export import validate_trace_events
+from repro.obs.logsetup import add_verbosity_args, get_logger, setup_from_args
+
+log = get_logger("scripts.validate_trace_events")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", metavar="TRACE_JSON")
+    add_verbosity_args(parser)
+    args = parser.parse_args(argv)
+    setup_from_args(args)
+
+    failed = False
+    for path in args.paths:
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError) as exc:
+            log.error("%s: unreadable (%s)", path, exc)
+            failed = True
+            continue
+        errors = validate_trace_events(payload)
+        if errors:
+            failed = True
+            for error in errors:
+                log.error("%s: %s", path, error)
+        else:
+            n = len(payload["traceEvents"])
+            log.info("%s: valid (%d trace events)", path, n)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

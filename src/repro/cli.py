@@ -7,8 +7,13 @@ Usage::
     biglittle run fig2 --seed 3
     biglittle characterize bbench  # full characterization of one app
     biglittle cprofile browser --top 20 --pstats browser.pstats
+    biglittle observe bbench --perfetto trace.json --metrics m.json
     biglittle batch --apps bbench --configs L4+B4,L2+B1 --workers 4
     biglittle sweep coreconfig --workers 8   # fig07/08 on all cores
+
+Results (tables, JSON) go to **stdout**; progress and "written to"
+notices go to the ``repro`` logger on **stderr** (``-v`` / ``-q``
+adjust the level), so redirecting stdout captures exactly the artifact.
 """
 
 from __future__ import annotations
@@ -19,7 +24,10 @@ import sys
 from repro.core.report import render_matrix, render_table
 from repro.core.study import CharacterizationStudy
 from repro.experiments.registry import get_experiment, list_experiments
+from repro.obs.logsetup import add_verbosity_args, get_logger, setup_from_args
 from repro.workloads.mobile import MOBILE_APP_NAMES
+
+log = get_logger("cli")
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -36,7 +44,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.experiments.serialize import dump_result
 
         dump_result(result, args.json)
-        print(f"\n[json written to {args.json}]")
+        log.info("json written to %s", args.json)
     return 0
 
 
@@ -100,7 +108,57 @@ def _cmd_cprofile(args: argparse.Namespace) -> int:
     print(f"run: {trace.duration_s:.1f} s simulated, {path}")
     if args.pstats:
         stats.dump_stats(args.pstats)
-        print(f"[pstats written to {args.pstats}]")
+        log.info("pstats written to %s", args.pstats)
+    return 0
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    """Run one app with full observability and export the artifacts."""
+    from repro.core.study import FPS_APP_SECONDS, LATENCY_APP_CAP_SECONDS
+    from repro.obs import Observation
+    from repro.obs.export import (
+        export_events_jsonl,
+        export_metrics_json,
+        export_perfetto,
+        render_summary,
+    )
+    from repro.platform.chip import exynos5422
+    from repro.sim.engine import SimConfig, Simulator
+    from repro.workloads.base import Metric
+    from repro.workloads.mobile import make_app
+
+    app = make_app(args.app)
+    max_seconds = args.max_seconds
+    if max_seconds is None:
+        max_seconds = (
+            FPS_APP_SECONDS if app.metric is Metric.FPS else LATENCY_APP_CAP_SECONDS
+        )
+    sim = Simulator(SimConfig(
+        chip=exynos5422(screen_on=True), max_seconds=max_seconds, seed=args.seed
+    ))
+    observation = Observation.attach(sim)
+    app.install(sim)
+    log.debug("running %s for up to %.1f simulated seconds", args.app, max_seconds)
+    trace = sim.run()
+    snapshot = observation.snapshot()
+
+    print(render_summary(snapshot))
+    log.info(
+        "run: %.1f s simulated, %d events recorded",
+        trace.duration_s, len(observation.events),
+    )
+    if args.perfetto:
+        n = export_perfetto(
+            args.perfetto, trace, observation.events,
+            metadata={"app": args.app, "seed": args.seed},
+        )
+        log.info("perfetto trace (%d events) written to %s", n, args.perfetto)
+    if args.metrics:
+        export_metrics_json(args.metrics, snapshot)
+        log.info("metrics snapshot written to %s", args.metrics)
+    if args.events:
+        n = export_events_jsonl(args.events, observation.events)
+        log.info("%d events written to %s", n, args.events)
     return 0
 
 
@@ -195,7 +253,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
              "wall_s": report.wall_s},
             args.json,
         )
-        print(f"\n[json written to {args.json}]")
+        log.info("json written to %s", args.json)
     return 0 if report.succeeded() else 1
 
 
@@ -214,7 +272,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from repro.experiments.serialize import dump_result
 
         dump_result(result, args.json)
-        print(f"\n[json written to {args.json}]")
+        log.info("json written to %s", args.json)
     return 0
 
 
@@ -241,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="biglittle",
         description="Reproduction toolkit for 'Big or Little' (IISWC 2015)",
     )
+    add_verbosity_args(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list reproducible experiments")
@@ -277,6 +336,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_cprof.add_argument("--reference", action="store_true",
                          help="pin the reference tick loop (no fast-forward)")
     p_cprof.set_defaults(func=_cmd_cprofile)
+
+    p_obs = sub.add_parser(
+        "observe",
+        help="run one app with full observability and export the artifacts",
+    )
+    p_obs.add_argument("app", choices=MOBILE_APP_NAMES)
+    p_obs.add_argument("--seed", type=int, default=0)
+    p_obs.add_argument("--max-seconds", type=float, default=None,
+                       help="simulated-seconds cap "
+                            "(default: app-family convention)")
+    p_obs.add_argument("--perfetto", metavar="PATH", default=None,
+                       help="write a Chrome/Perfetto trace-event JSON "
+                            "(open at ui.perfetto.dev)")
+    p_obs.add_argument("--metrics", metavar="PATH", default=None,
+                       help="write the metrics snapshot as JSON")
+    p_obs.add_argument("--events", metavar="PATH", default=None,
+                       help="write the raw event stream as JSONL")
+    p_obs.set_defaults(func=_cmd_observe)
 
     p_tl = sub.add_parser("timeline", help="ASCII activity/frequency timeline")
     p_tl.add_argument("app", choices=MOBILE_APP_NAMES)
@@ -333,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_from_args(args)
     return args.func(args)
 
 

@@ -1,0 +1,82 @@
+"""Logging configuration shared by the CLI and the scripts.
+
+Contract: **stdout carries machine-readable results only** (rendered
+tables, JSON payloads); everything narrative — progress, "written to"
+notices, warnings — goes through the ``repro`` logger to **stderr**, so
+``biglittle run table3 > out.txt`` and friends capture exactly the
+artifact.
+
+Verbosity is additive: the default level is INFO (status lines show, as
+the old ``print`` calls did), ``-v`` enables DEBUG, ``-q`` raises to
+WARNING, ``-qq`` to ERROR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["add_verbosity_args", "get_logger", "setup_logging", "setup_from_args"]
+
+#: The root of the package's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def setup_logging(verbosity: int = 0, stream: Optional[IO[str]] = None) -> logging.Logger:
+    """(Re)configure the ``repro`` logger for CLI/script use.
+
+    ``verbosity`` is ``args.verbose - args.quiet``: 0 → INFO,
+    >=1 → DEBUG, -1 → WARNING, <=-2 → ERROR.  Idempotent — an existing
+    handler installed by a previous call is replaced, so tests can call
+    it repeatedly.
+    """
+    if verbosity >= 1:
+        level = logging.DEBUG
+    elif verbosity == 0:
+        level = logging.INFO
+    elif verbosity == -1:
+        level = logging.WARNING
+    else:
+        level = logging.ERROR
+
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    logger.propagate = False
+    for handler in [h for h in logger.handlers if getattr(h, "_repro_cli", False)]:
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    return logger
+
+
+def add_verbosity_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``-v/--verbose`` and ``-q/--quiet`` flags."""
+    group = parser.add_argument_group("logging")
+    group.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more logging (-v = debug)",
+    )
+    group.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="less logging (-q = warnings only, -qq = errors only)",
+    )
+
+
+def setup_from_args(args: argparse.Namespace) -> logging.Logger:
+    """Configure logging from parsed ``add_verbosity_args`` flags."""
+    return setup_logging(getattr(args, "verbose", 0) - getattr(args, "quiet", 0))

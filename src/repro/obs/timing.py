@@ -1,0 +1,43 @@
+"""Wall-clock phase timing for benchmarks and the CLI.
+
+A :class:`PhaseTimer` records named spans (``setup``, ``run``,
+``analysis``...) around the stages of a simulation so the
+``BENCH_engine.json`` flow can report where wall-clock time goes, not
+just the end-to-end number.  Spans of the same name accumulate.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulating named wall-clock spans."""
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def seconds(self, name: str) -> float:
+        return self._totals.get(name, 0.0)
+
+    def to_dict(self) -> dict[str, dict[str, float]]:
+        """JSON-ready ``{phase: {seconds, count}}`` mapping."""
+        return {
+            name: {"seconds": total, "count": self._counts[name]}
+            for name, total in sorted(self._totals.items())
+        }

@@ -11,9 +11,12 @@ analysis — each line is one event).
 from __future__ import annotations
 
 import json
+import logging
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Optional
+
+log = logging.getLogger("repro.runner.events")
 
 
 @dataclass
@@ -38,7 +41,16 @@ class RunnerEvent:
     extra: dict[str, Any] = field(default_factory=dict)
 
     def to_json(self) -> str:
-        payload = {k: v for k, v in asdict(self).items() if v not in (None, {})}
+        # Drop unset fields by identity/emptiness, not by ``in (None, {})``
+        # equality — that form compares every value against {} via __eq__
+        # (misfiring on empty-mapping-like extras and on objects whose
+        # __eq__ is non-boolean); only ``extra`` may be elided, and only
+        # when actually empty.
+        payload = {
+            k: v
+            for k, v in asdict(self).items()
+            if v is not None and not (k == "extra" and not v)
+        }
         return json.dumps(payload, sort_keys=True)
 
 
@@ -74,7 +86,12 @@ class EventSink:
     def emit(self, event: str, **fields: Any) -> RunnerEvent:
         record = RunnerEvent(event=event, t_s=round(self.elapsed_s(), 6), **fields)
         if self._callback is not None:
-            self._callback(record)
+            # A broken progress bar must not take the batch down with it,
+            # nor suppress the JSONL log line for this event.
+            try:
+                self._callback(record)
+            except Exception:
+                log.exception("event callback failed for %r", record.event)
         if self._log_file is not None:
             self._log_file.write(record.to_json() + "\n")
             self._log_file.flush()

@@ -90,6 +90,12 @@ class RunSpec:
         seed: RNG stream seed.
         max_seconds: wall-clock cap; ``None`` applies the app-family
             default (12 s FPS steady-state / 60 s latency cap).
+        observe: attach :class:`repro.obs.Observation` to the run; the
+            resulting metrics snapshot rides back on
+            :attr:`RunResult.metrics` (observation never changes the
+            simulated trace, so observed and unobserved runs are
+            bit-identical — but the key differs so cached unobserved
+            results, which lack the snapshot, are not reused).
     """
 
     workload: str
@@ -99,6 +105,7 @@ class RunSpec:
     scheduler: SchedulerConfig = field(default_factory=baseline_config)
     seed: int = 0
     max_seconds: Optional[float] = None
+    observe: bool = False
 
     def manifest(self) -> dict[str, Any]:
         """Canonical JSON-compatible description (the hashed identity)."""
@@ -109,7 +116,7 @@ class RunSpec:
         chip: Any = self.chip
         if isinstance(chip, ChipSpec):
             chip = {"inline": to_jsonable(chip)}
-        return {
+        manifest = {
             "kind": self.kind,
             "workload": self.workload,
             "chip": chip,
@@ -118,6 +125,11 @@ class RunSpec:
             "seed": self.seed,
             "max_seconds": self.max_seconds,
         }
+        # Only stamped when set, so every pre-existing cache key is
+        # unchanged for unobserved specs.
+        if self.observe:
+            manifest["observe"] = True
+        return manifest
 
     def key(self) -> str:
         """Stable content hash of the manifest (cache key component)."""
@@ -158,6 +170,9 @@ class RunResult:
     latency_s: Optional[float] = None
     avg_fps: Optional[float] = None
     min_fps: Optional[float] = None
+    #: ``MetricsSnapshot.to_dict()`` of an observed run (``observe=True``),
+    #: else ``None``.  Plain JSON, so it caches with the other scalars.
+    metrics: Optional[dict[str, Any]] = None
     trace: Optional[Trace] = None
 
     @property
@@ -184,6 +199,7 @@ class RunResult:
             "latency_s": self.latency_s,
             "avg_fps": self.avg_fps,
             "min_fps": self.min_fps,
+            "metrics": self.metrics,
         }
 
 
@@ -215,6 +231,11 @@ def _run_app_kind(spec: RunSpec) -> RunResult:
         seed=spec.seed,
     )
     sim = Simulator(config)
+    observation = None
+    if spec.observe:
+        from repro.obs import Observation
+
+        observation = Observation.attach(sim)
     app.install(sim)
     trace = sim.run()
     result = RunResult(
@@ -231,6 +252,8 @@ def _run_app_kind(spec: RunSpec) -> RunResult:
     else:
         result.avg_fps = float(app.avg_fps())
         result.min_fps = float(app.min_fps())
+    if observation is not None:
+        result.metrics = observation.snapshot().to_dict()
     return result
 
 

@@ -9,6 +9,9 @@ differ by two or more.  Ties are broken by core id for determinism.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.obs.events import EventBus, TaskMigrated
 from repro.sim.core import SimCore
 from repro.sim.task import TaskState
 
@@ -26,11 +29,16 @@ def most_loaded(cores: list[SimCore]) -> SimCore:
     return max(cores, key=lambda c: (c.nr_running(), c.queued_load(), -c.core_id))
 
 
-def balance_cluster(cores: list[SimCore], max_moves: int = 16) -> int:
+def balance_cluster(
+    cores: list[SimCore], max_moves: int = 16, obs: Optional[EventBus] = None
+) -> int:
     """Equalize runnable-task counts within one core group.
 
     Returns the number of tasks moved.  ``max_moves`` bounds the work per
-    tick (the real balancer is similarly incremental).
+    tick (the real balancer is similarly incremental).  Balance moves are
+    same-cluster shuffles, not cluster migrations — they are reported on
+    ``obs`` with reason ``"balance"`` but do **not** bump
+    ``task.migrations``.
     """
     if len(cores) < 2:
         return 0
@@ -52,5 +60,11 @@ def balance_cluster(cores: list[SimCore], max_moves: int = 16) -> int:
         task = min(candidates, key=lambda t: (t.load.value, t.tid))
         src.dequeue(task)
         dst.enqueue(task)
+        if obs is not None:
+            obs.emit(TaskMigrated(
+                task=task.name, tid=task.tid,
+                src_core=src.core_id, dst_core=dst.core_id,
+                reason="balance", load=task.load.value,
+            ))
         moves += 1
     return moves

@@ -18,6 +18,7 @@ our 1 ms resolution).
 
 from __future__ import annotations
 
+from repro.obs.events import ClusterSwitched
 from repro.platform.coretypes import CoreType
 from repro.sched.balance import balance_cluster, least_loaded
 from repro.sched.hmp import HMPScheduler
@@ -78,9 +79,9 @@ class ClusterSwitchingScheduler(HMPScheduler):
             self._idle_ticks = 0
             peak = max(t.load.value for t in runnable)
             if self.active_type is CoreType.LITTLE and peak > self.params.up_threshold:
-                self._switch_to(CoreType.BIG)
+                self._switch_to(CoreType.BIG, peak_load=peak)
             elif self.active_type is CoreType.BIG and peak < self.params.down_threshold:
-                self._switch_to(CoreType.LITTLE)
+                self._switch_to(CoreType.LITTLE, peak_load=peak)
         elif self.active_type is CoreType.BIG:
             # A *persistently* idle system belongs on the efficient
             # cluster; micro-stalls must not thrash the switcher.
@@ -89,12 +90,16 @@ class ClusterSwitchingScheduler(HMPScheduler):
                 self._switch_to(CoreType.LITTLE)
 
         moved = self._herd_to_active()
-        balance_cluster(self.active_cores)
+        balance_cluster(self.active_cores, obs=self.obs)
         return moved
 
-    def _switch_to(self, core_type: CoreType) -> None:
+    def _switch_to(self, core_type: CoreType, peak_load: float = 0.0) -> None:
         self.active_type = core_type
         self.switches += 1
+        if self.obs is not None:
+            self.obs.emit(ClusterSwitched(
+                active=core_type.value, peak_load=peak_load,
+            ))
 
     def _herd_to_active(self) -> int:
         """Move every runnable task off the inactive cluster."""
@@ -106,8 +111,8 @@ class ClusterSwitchingScheduler(HMPScheduler):
             for task in list(core.runqueue):
                 if task.state is not TaskState.RUNNABLE:
                     continue
-                core.dequeue(task)
-                least_loaded(self.active_cores).enqueue(task)
-                task.migrations += 1
+                self._migrate(
+                    task, core, least_loaded(self.active_cores), "cluster-switch"
+                )
                 moved += 1
         return moved

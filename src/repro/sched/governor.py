@@ -21,6 +21,9 @@ characterization experiments (paper Section III).
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.obs.events import EventBus, FreqChanged, InputBoost
 from repro.platform.coretypes import CoreType
 from repro.platform.opp import OPPTable
 from repro.sched.params import GovernorParams
@@ -38,12 +41,23 @@ class ClusterFreqDomain:
         #: Maximum frequency currently allowed (lowered by thermal
         #: throttling; governors' requests are clamped to it).
         self.cap_khz = opp_table.max_khz
+        #: Observability bus (installed by ``Simulator.attach_observer``);
+        #: ``None`` means transitions are not recorded.
+        self.obs: Optional[EventBus] = None
         self.apply()
 
-    def set_freq(self, freq_khz: int) -> None:
+    def set_freq(self, freq_khz: int, reason: str = "governor") -> None:
         if not self.opp_table.contains(freq_khz):
             raise ValueError(f"{freq_khz} kHz is not an OPP of the {self.core_type} cluster")
-        self.freq_khz = min(freq_khz, self.cap_khz)
+        new_khz = min(freq_khz, self.cap_khz)
+        if self.obs is not None and new_khz != self.freq_khz:
+            self.obs.emit(FreqChanged(
+                cluster=self.core_type.value,
+                old_khz=self.freq_khz,
+                new_khz=new_khz,
+                reason=reason,
+            ))
+        self.freq_khz = new_khz
         self.apply()
 
     def set_cap(self, cap_khz: int) -> None:
@@ -52,6 +66,13 @@ class ClusterFreqDomain:
             raise ValueError(f"{cap_khz} kHz is not an OPP of the {self.core_type} cluster")
         self.cap_khz = cap_khz
         if self.freq_khz > cap_khz:
+            if self.obs is not None:
+                self.obs.emit(FreqChanged(
+                    cluster=self.core_type.value,
+                    old_khz=self.freq_khz,
+                    new_khz=cap_khz,
+                    reason="thermal",
+                ))
             self.freq_khz = cap_khz
             self.apply()
 
@@ -123,8 +144,12 @@ class InteractiveGovernor(Governor):
             return
         self._boost_ticks_left = self.params.input_boost_ms
         hispeed = self.hispeed_khz(domain)
+        if domain.obs is not None:
+            domain.obs.emit(InputBoost(
+                cluster=domain.core_type.value, hispeed_khz=hispeed,
+            ))
         if domain.freq_khz < hispeed:
-            domain.set_freq(hispeed)
+            domain.set_freq(hispeed, reason="input-boost")
             self._ticks_since_raise = 0
 
     def hispeed_khz(self, domain: ClusterFreqDomain) -> int:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.events import EventBus, TaskMigrated
 from repro.platform.coretypes import CoreType
 from repro.sched.balance import balance_cluster, least_loaded
 from repro.sched.params import HMPParams
@@ -35,6 +36,11 @@ class HMPScheduler:
     #: idle fast-forward may skip scheduler ticks only when this holds;
     #: schedulers that evolve state across idle ticks must set it False.
     idle_tick_is_noop = True
+
+    #: Observability bus (installed by ``Simulator.attach_observer``).
+    #: A class attribute so subclasses and existing pickled/constructed
+    #: schedulers default to "not observed" without an __init__ change.
+    obs: Optional[EventBus] = None
 
     def __init__(self, cores: list[SimCore], params: HMPParams):
         self.params = params
@@ -92,6 +98,18 @@ class HMPScheduler:
 
     # -- periodic migration pass (Algorithm 1) -----------------------------
 
+    def _migrate(self, task: Task, src: SimCore, dst: SimCore, reason: str) -> None:
+        """Move ``task`` between clusters: dequeue, enqueue, account, report."""
+        src.dequeue(task)
+        dst.enqueue(task)
+        task.migrations += 1
+        if self.obs is not None:
+            self.obs.emit(TaskMigrated(
+                task=task.name, tid=task.tid,
+                src_core=src.core_id, dst_core=dst.core_id,
+                reason=reason, load=task.load.value,
+            ))
+
     def tick(self, cores: list[SimCore]) -> int:
         """Run one migration + balancing pass; returns migrations done."""
         migrations = 0
@@ -104,13 +122,12 @@ class HMPScheduler:
                     continue
                 target = self._migration_target(core, task)
                 if target is not None:
-                    core.dequeue(task)
-                    target.enqueue(task)
-                    task.migrations += 1
+                    reason = "up" if core.core_type is CoreType.LITTLE else "down"
+                    self._migrate(task, core, target, reason)
                     migrations += 1
         migrations += self._offload_overloaded_big()
-        balance_cluster(self.little_cores)
-        balance_cluster(self.big_cores)
+        balance_cluster(self.little_cores, obs=self.obs)
+        balance_cluster(self.big_cores, obs=self.obs)
         return migrations
 
     def _offload_overloaded_big(self) -> int:
@@ -135,9 +152,7 @@ class HMPScheduler:
                     t for t in big.runqueue if t.state is TaskState.RUNNABLE
                 ]
                 task = min(candidates, key=lambda t: (t.load.value, t.tid))
-                big.dequeue(task)
-                idle_little.enqueue(task)
-                task.migrations += 1
+                self._migrate(task, big, idle_little, "offload")
                 moves += 1
         return moves
 

@@ -95,17 +95,15 @@ class ParallelismAwareScheduler(HMPScheduler):
                 if wants_big and not on_big:
                     target = least_loaded(self.big_cores)
                     if target.nr_running() == 0:
-                        core.dequeue(task)
-                        target.enqueue(task)
-                        task.migrations += 1
+                        self._migrate(task, core, target, "parallelism")
                         migrations += 1
                 elif on_big and not wants_big:
-                    core.dequeue(task)
-                    least_loaded(self.little_cores).enqueue(task)
-                    task.migrations += 1
+                    self._migrate(
+                        task, core, least_loaded(self.little_cores), "parallelism"
+                    )
                     migrations += 1
-        balance_cluster(self.little_cores)
-        balance_cluster(self.big_cores)
+        balance_cluster(self.little_cores, obs=self.obs)
+        balance_cluster(self.big_cores, obs=self.obs)
         return migrations
 
     def place_wakeup(self, task: Task) -> SimCore:

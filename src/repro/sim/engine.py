@@ -34,6 +34,16 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.obs.events import (
+    EventBus,
+    FreqChanged,
+    IdleFastForward,
+    TaskBlocked,
+    TaskFinished,
+    TaskSpawned,
+    TaskWoken,
+    ThermalCap,
+)
 from repro.platform.chip import ChipSpec, CoreConfig, exynos5422
 from repro.platform.coretypes import CoreType
 from repro.platform.gpu import GpuSpec
@@ -155,6 +165,12 @@ class Simulator:
             GpuDevice(config.gpu) if config.gpu is not None else None
         )
 
+        #: Observability event bus, or ``None`` (the default).  Every
+        #: emission site in the engine sits behind one
+        #: ``if self.obs is not None:`` test, so the disabled path does
+        #: no event work at all; attach via :meth:`attach_observer`.
+        self.obs: Optional[EventBus] = None
+
         self.tasks: list[Task] = []
         #: Min-heap of ``(wake_tick, seq, task)`` sleepers.  The ``seq``
         #: tiebreaker preserves the FIFO wake order of the former
@@ -219,6 +235,23 @@ class Simulator:
             if boost is not None:
                 boost(self.domains[core_type])
 
+    def attach_observer(self, bus: EventBus) -> EventBus:
+        """Install an event bus on the engine, scheduler, and domains.
+
+        Unlike :meth:`add_tick_hook`, an observer does **not** disable
+        the idle fast-forward: events record decisions without feeding
+        back into them, so traces stay bit-exact with the unobserved
+        run (fast-forwarded governor decisions are re-emitted with
+        their historical ticks).  Most callers want
+        :meth:`repro.obs.Observation.attach`, which also wires a
+        metrics collector.
+        """
+        self.obs = bus
+        self.hmp.obs = bus
+        for domain in self.domains.values():
+            domain.obs = bus
+        return bus
+
     def add_tick_hook(self, hook: Callable[["Simulator"], None]) -> None:
         """Register a callable invoked each tick after execution.
 
@@ -245,9 +278,19 @@ class Simulator:
         stream_key = f"task/{task.name}/{len(self.tasks)}"
         self.tasks.append(task)
         self._unfinished += 1
+        spawn_event = None
+        if self.obs is not None:
+            # Emitted before the generator starts so any block/finish it
+            # triggers follows the spawn in the log; the placed core is
+            # filled in below once known.
+            spawn_event = TaskSpawned(task=task.name, tid=task.tid)
+            self.obs.emit(spawn_event)
         task.start(self, rng or self.rng.split(stream_key))
         if task.state is TaskState.RUNNABLE:
-            self.hmp.place_wakeup(task).enqueue(task)
+            core = self.hmp.place_wakeup(task)
+            core.enqueue(task)
+            if spawn_event is not None:
+                spawn_event.core = core.core_id
         return task
 
     def channel(self, name: str = "chan") -> Channel:
@@ -256,6 +299,11 @@ class Simulator:
     def on_task_blocked(self, task: Task) -> None:
         """Called by Task when it transitions to SLEEPING/WAITING."""
         task.blocked_at_tick = self.tick
+        if self.obs is not None:
+            self.obs.emit(TaskBlocked(
+                task=task.name, tid=task.tid,
+                state=task.state.value, core=task.core_id,
+            ))
         if task.core_id is not None:
             self.cores[task.core_id].dequeue(task)
         if task.state is TaskState.SLEEPING:
@@ -266,6 +314,10 @@ class Simulator:
         if task.core_id is not None:
             self.cores[task.core_id].dequeue(task)
         self._unfinished -= 1
+        if self.obs is not None:
+            self.obs.emit(TaskFinished(
+                task=task.name, tid=task.tid, total_busy_s=task.total_busy_s,
+            ))
 
     def watch_channel(self, channel: Channel) -> None:
         if channel not in self._watched_channels:
@@ -287,9 +339,18 @@ class Simulator:
         if task.blocked_at_tick is not None:
             task.load.decay(self.tick - task.blocked_at_tick)
             task.blocked_at_tick = None
+        wake_event = None
+        if self.obs is not None:
+            # Before the advance, so a chained block/finish follows the
+            # wake in the log; core filled in after placement.
+            wake_event = TaskWoken(task=task.name, tid=task.tid)
+            self.obs.emit(wake_event)
         task._advance(self)
         if task.state is TaskState.RUNNABLE:
-            self.hmp.place_wakeup(task).enqueue(task)
+            core = self.hmp.place_wakeup(task)
+            core.enqueue(task)
+            if wake_event is not None:
+                wake_event.core = core.core_id
 
     def _process_wakeups(self) -> None:
         # Sleep expirations, in (wake_tick, sleep-order) order.  Every
@@ -377,10 +438,31 @@ class Simulator:
             CoreType.LITTLE: [],
             CoreType.BIG: [],
         }
-        for core_type, governor in self.governors.items():
-            changes[core_type] = governor.idle_tick_span(
-                self.domains[core_type], start, n, self.tick_s
-            )
+        if self.obs is None:
+            for core_type, governor in self.governors.items():
+                changes[core_type] = governor.idle_tick_span(
+                    self.domains[core_type], start, n, self.tick_s
+                )
+        else:
+            # The replay goes through the ordinary set_freq path, whose
+            # emissions would all carry the span's start tick; mute it
+            # and re-emit each change with its exact historical tick.
+            self.obs.emit(IdleFastForward(n_ticks=n, tick=start))
+            with self.obs.muted():
+                for core_type, governor in self.governors.items():
+                    changes[core_type] = governor.idle_tick_span(
+                        self.domains[core_type], start, n, self.tick_s
+                    )
+            for core_type, prev in (
+                (CoreType.LITTLE, freq_little),
+                (CoreType.BIG, freq_big),
+            ):
+                for offset, khz in changes[core_type]:
+                    self.obs.emit(FreqChanged(
+                        cluster=core_type.value, old_khz=prev, new_khz=khz,
+                        tick=start + offset,
+                    ))
+                    prev = khz
 
         # Segment boundaries: span ends, governor frequency changes, and
         # each enabled core's deep-idle entry (idle_ticks crosses the
@@ -535,6 +617,12 @@ class Simulator:
             power += self.gpu.tick(tick_s)
         if self.thermal is not None:
             cap = self.thermal.step(power, tick_s)
+            if self.obs is not None and cap != dom_big.cap_khz:
+                self.obs.emit(ThermalCap(
+                    cluster=CoreType.BIG.value,
+                    cap_khz=cap,
+                    old_cap_khz=dom_big.cap_khz,
+                ))
             dom_big.set_cap(cap)
         self.trace.record(
             busy,

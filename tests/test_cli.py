@@ -43,6 +43,25 @@ class TestParser:
         assert args.target == "params"
         assert args.workers == 2
 
+    def test_observe_parses_exports_and_verbosity(self):
+        args = build_parser().parse_args([
+            "-v", "observe", "bbench", "--seed", "3", "--max-seconds", "2",
+            "--perfetto", "t.json", "--metrics", "m.json",
+            "--events", "e.jsonl",
+        ])
+        assert args.command == "observe"
+        assert args.app == "bbench"
+        assert args.seed == 3
+        assert args.max_seconds == 2.0
+        assert args.perfetto == "t.json"
+        assert args.metrics == "m.json"
+        assert args.events == "e.jsonl"
+        assert args.verbose == 1
+
+    def test_observe_validates_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["observe", "not-an-app"])
+
 
 class TestCommands:
     def test_list_prints_artifacts(self, capsys):
@@ -107,3 +126,40 @@ class TestCommands:
         ])
         assert rc == 0
         assert "2 cached" in capsys.readouterr().out
+
+    def test_observe_runs_and_exports(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.export import validate_trace_events
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        events_path = tmp_path / "events.jsonl"
+        rc = main([
+            "observe", "bbench", "--max-seconds", "2",
+            "--perfetto", str(trace_path),
+            "--metrics", str(metrics_path),
+            "--events", str(events_path),
+        ])
+        assert rc == 0
+        # Stdout carries only the summary tables; exports land on disk.
+        out = capsys.readouterr().out
+        assert "Migrations" in out
+        assert "OPP residency" in out
+
+        payload = json.loads(trace_path.read_text())
+        assert validate_trace_events(payload) == []
+        assert payload["otherData"]["app"] == "bbench"
+
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["migrations.total"] >= 0
+        assert metrics["gauges"]["total_ticks"] == 2000
+
+        lines = events_path.read_text().splitlines()
+        assert lines
+        assert all("event" in json.loads(line) for line in lines)
+
+    def test_observe_summary_only(self, capsys):
+        rc = main(["observe", "video-player", "--max-seconds", "1"])
+        assert rc == 0
+        assert "Migrations" in capsys.readouterr().out

@@ -1,0 +1,101 @@
+"""Observability must be free when off and invisible when on.
+
+Two guarantees, both load-bearing for the paper artifacts:
+
+- **zero-cost disabled**: an unobserved run constructs *no* event
+  objects at all — every emission site is behind one ``if self.obs``
+  guard, proven here by counting every ``__init__`` of every event
+  type;
+- **bit-exact enabled**: attaching an observer never changes the
+  simulation — power/busy/frequency arrays are identical with and
+  without the bus, and the idle fast-forward path stays eligible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import Observation
+from repro.obs.events import EVENT_TYPES
+from repro.platform.perfmodel import COMPUTE_BOUND
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.task import Sleep, Task, Work
+from repro.workloads.mobile import make_app
+
+GOLDEN_APPS = ["bbench", "angry-bird", "youtube", "video-player", "maps"]
+
+
+def _counting_inits(monkeypatch):
+    """Patch every event type's ``__init__`` to count constructions."""
+    counts = {cls.__name__: 0 for cls in EVENT_TYPES}
+    for cls in EVENT_TYPES:
+        original = cls.__init__
+
+        def patched(self, *args, _original=original, _name=cls.__name__,
+                    **kwargs):
+            counts[_name] += 1
+            _original(self, *args, **kwargs)
+
+        monkeypatch.setattr(cls, "__init__", patched)
+    return counts
+
+
+class TestZeroCostDisabled:
+    def test_unobserved_run_allocates_no_events(self, monkeypatch):
+        counts = _counting_inits(monkeypatch)
+        sim = Simulator(SimConfig(max_seconds=4.0))
+        make_app("bbench").install(sim)
+        sim.run()
+        assert counts == {cls.__name__: 0 for cls in EVENT_TYPES}
+
+    def test_observed_run_does_allocate(self, monkeypatch):
+        counts = _counting_inits(monkeypatch)
+        sim = Simulator(SimConfig(max_seconds=4.0))
+        Observation.attach(sim)
+        make_app("bbench").install(sim)
+        sim.run()
+        assert sum(counts.values()) > 0
+
+
+class TestBitExactEnabled:
+    @pytest.mark.parametrize("app_name", GOLDEN_APPS)
+    def test_observation_never_changes_results(self, app_name):
+        def run(observe):
+            sim = Simulator(SimConfig(max_seconds=4.0))
+            if observe:
+                Observation.attach(sim)
+            make_app(app_name).install(sim)
+            return sim, sim.run()
+
+        sim_off, trace_off = run(observe=False)
+        sim_on, trace_on = run(observe=True)
+        assert np.array_equal(trace_off.power_mw, trace_on.power_mw)
+        assert np.array_equal(trace_off.busy, trace_on.busy)
+        for ct in sim_off.domains:
+            assert np.array_equal(
+                trace_off.freq_khz(ct), trace_on.freq_khz(ct)
+            )
+        assert sim_off.fastforward_spans == sim_on.fastforward_spans
+        assert sim_off.fastforward_ticks == sim_on.fastforward_ticks
+
+    def test_fast_forward_stays_eligible_under_observation(self):
+        def _standby(ctx):
+            while True:
+                yield Work(0.002)
+                yield Sleep(1.0)
+
+        def run(observe):
+            sim = Simulator(SimConfig(max_seconds=10.0))
+            if observe:
+                Observation.attach(sim)
+            sim.spawn(Task("standby", _standby, COMPUTE_BOUND))
+            trace = sim.run()
+            return sim, trace
+
+        sim_off, trace_off = run(observe=False)
+        sim_on, trace_on = run(observe=True)
+        assert sim_on.fastforward_spans > 0
+        assert sim_on.fastforward_spans == sim_off.fastforward_spans
+        assert sim_on.fastforward_ticks == sim_off.fastforward_ticks
+        assert np.array_equal(trace_off.power_mw, trace_on.power_mw)

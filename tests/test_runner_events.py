@@ -1,0 +1,163 @@
+"""Tests for :mod:`repro.runner.events` — RunnerEvent JSON and EventSink."""
+
+from __future__ import annotations
+
+import json
+
+from repro.runner.events import EventSink, RunnerEvent
+
+
+class TestRunnerEventToJson:
+    def test_unset_fields_are_dropped(self):
+        record = RunnerEvent(event="batch_start", t_s=0.0)
+        payload = json.loads(record.to_json())
+        assert payload == {"event": "batch_start", "t_s": 0.0}
+
+    def test_falsy_but_set_values_survive(self):
+        """Regression: ``v not in (None, {})`` dropped 0 / 0.0 / "" via
+        __eq__ against {} and None; filtering must be identity-based."""
+        record = RunnerEvent(
+            event="job_done", t_s=0.0, index=0, attempt=0,
+            duration_s=0.0, error="",
+        )
+        payload = json.loads(record.to_json())
+        assert payload["index"] == 0
+        assert payload["attempt"] == 0
+        assert payload["duration_s"] == 0.0
+        assert payload["error"] == ""
+
+    def test_empty_extra_elided_nonempty_kept(self):
+        empty = json.loads(RunnerEvent(event="e", t_s=1.0).to_json())
+        assert "extra" not in empty
+        full = json.loads(
+            RunnerEvent(event="e", t_s=1.0, extra={"n": 0}).to_json()
+        )
+        assert full["extra"] == {"n": 0}
+
+    def test_json_is_sorted_and_single_line(self):
+        text = RunnerEvent(
+            event="job_done", t_s=2.5, index=3, spec_key="abc",
+            label="bbench", status="ok",
+        ).to_json()
+        assert "\n" not in text
+        keys = list(json.loads(text))
+        assert keys == sorted(keys)
+
+
+class TestEventSink:
+    def test_jsonl_log_round_trips(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with EventSink(log_path=str(path)) as sink:
+            sink.emit("batch_start", extra={"n_jobs": 2})
+            sink.emit("job_done", index=0, status="ok")
+            sink.emit("batch_done", extra={"ok": 2})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        parsed = [json.loads(line) for line in lines]
+        assert [p["event"] for p in parsed] == [
+            "batch_start", "job_done", "batch_done",
+        ]
+        assert all(p["t_s"] >= 0 for p in parsed)
+
+    def test_log_appends_across_sinks(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        for _ in range(2):
+            with EventSink(log_path=str(path)) as sink:
+                sink.emit("batch_start")
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_callback_exception_is_isolated(self, tmp_path, caplog, monkeypatch):
+        path = tmp_path / "run.jsonl"
+
+        def explode(record):
+            raise RuntimeError("broken progress bar")
+
+        # An earlier CLI test may have configured the non-propagating
+        # `repro` handler; caplog needs records to reach the root logger.
+        import logging
+
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        with caplog.at_level("ERROR", logger="repro.runner.events"):
+            with EventSink(callback=explode, log_path=str(path)) as sink:
+                record = sink.emit("job_done", index=0)
+        assert record.event == "job_done"
+        # The JSONL line is still written and the failure is logged.
+        assert len(path.read_text().splitlines()) == 1
+        assert any("event callback failed" in r.message for r in caplog.records)
+
+    def test_callback_sees_every_event_in_order(self):
+        seen = []
+        with EventSink(callback=lambda r: seen.append(r.event)) as sink:
+            for name in ("batch_start", "cache_hit", "job_done", "batch_done"):
+                sink.emit(name)
+        assert seen == ["batch_start", "cache_hit", "job_done", "batch_done"]
+
+    def test_no_log_path_is_fine(self):
+        with EventSink() as sink:
+            record = sink.emit("batch_start")
+        assert record.t_s >= 0
+
+
+class TestBatchRunnerEventStream:
+    """End-to-end: the parallel runner's event stream is complete and
+    ordered, and callback crashes don't lose log lines."""
+
+    def _specs(self, n=3):
+        from repro.runner.spec import RunSpec
+
+        # Module-path kinds resolve inside worker processes too.
+        return [
+            RunSpec(
+                f"ok-{i}", kind=f"{__name__}:_ok_kind", seed=i,
+                max_seconds=0.01,
+            )
+            for i in range(n)
+        ]
+
+    def test_event_stream_complete_under_parallel_executor(self, tmp_path):
+        from repro.runner.batch import BatchRunner
+
+        path = tmp_path / "run.jsonl"
+        events = []
+        runner = BatchRunner(
+            workers=2, cache=None,
+            on_event=events.append, log_path=str(path),
+        )
+        report = runner.run(self._specs())
+        assert report.ok_count == 3
+        names = [e.event for e in events]
+        assert names[0] == "batch_start"
+        assert names[-1] == "batch_done"
+        per_job = [e for e in events if e.event in ("job_done", "cache_hit")]
+        assert len(per_job) == 3
+        assert sorted(e.index for e in per_job) == [0, 1, 2]
+        logged = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [d["event"] for d in logged] == names
+
+    def test_crashing_callback_keeps_full_jsonl(self, tmp_path):
+        from repro.runner.batch import BatchRunner
+
+        path = tmp_path / "run.jsonl"
+
+        def explode(record):
+            raise ValueError("boom")
+
+        runner = BatchRunner(
+            workers=2, cache=None,
+            on_event=explode, log_path=str(path),
+        )
+        report = runner.run(self._specs())
+        assert report.ok_count == 3
+        logged = [json.loads(line) for line in path.read_text().splitlines()]
+        assert logged[0]["event"] == "batch_start"
+        assert logged[-1]["event"] == "batch_done"
+        assert sum(1 for d in logged if d["event"] == "job_done") == 3
+
+
+def _ok_kind(spec):
+    from repro.runner.spec import RunResult
+
+    return RunResult(
+        spec_key=spec.key(), workload=spec.workload, metric="fps",
+        duration_s=0.01, avg_power_mw=100.0, energy_mj=1.0, avg_fps=60.0,
+    )
