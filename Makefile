@@ -13,7 +13,7 @@ bench:
 
 # Fast-path vs reference engine comparison; writes BENCH_engine.json.
 bench-quick:
-	PYTHONPATH=src python scripts/bench_engine.py --quick --out BENCH_engine.json
+	PYTHONPATH=src python scripts/bench_engine.py --quick --compare BENCH_engine.json --out BENCH_engine.json
 
 # Regenerate every paper table/figure into results/.
 artifacts:

@@ -15,12 +15,21 @@ Scenario families:
 - low-utilization interactive apps (voice-call, video-player, browser):
   60 Hz ambient work bounds spans to a frame period, so gains are
   modest but must still be gains.
-- *spec-like* CPU-bound compute: zero idle; guards against the fast
-  path's eligibility checks slowing the hot loop (>5% is a regression).
+- *spec-like* CPU-bound compute: zero idle; with PR 4's busy
+  steady-state fast-forward this is itself a fast-forward showcase, and
+  the run doubles as a guard that eligibility probing never slows the
+  hot loop.  ``spec-compute-long`` runs the same workload several times
+  longer so steady-state spans dominate setup/convergence cost.
+
+``--compare OLD.json`` prints per-scenario deltas against a previously
+written results file (CI runs it against the committed
+``BENCH_engine.json``, non-blocking) and is applied before ``--out``
+overwrites the baseline.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_engine.py --quick --out BENCH_engine.json
+    PYTHONPATH=src python scripts/bench_engine.py --quick \
+        --compare BENCH_engine.json --out BENCH_engine.json
 """
 
 from __future__ import annotations
@@ -71,12 +80,16 @@ def scenarios(quick: bool):
     app_s = 4.0 if quick else 12.0
     standby_s = 10.0 if quick else 60.0
     spec_s = 2.0 if quick else 6.0
+    spec_long_s = 10.0 if quick else 60.0
     return [
         ("standby-1hz", standby_s, _install_task("standby", _standby)),
         ("voice-call", app_s, _install_app("voice-call")),
         ("video-player", app_s, _install_app("video-player")),
         ("browser", app_s, _install_app("browser")),
         ("spec-compute", spec_s, _install_task("spec", _spec_like, count=4)),
+        # Long enough that busy steady-state spans dominate the
+        # governor-convergence prologue — the headline busy-FF number.
+        ("spec-compute-long", spec_long_s, _install_task("spec", _spec_like, count=4)),
     ]
 
 
@@ -94,6 +107,8 @@ def run_once(install, seconds: float, seed: int, fastpath: bool):
         "ticks_per_sec": len(trace) / wall if wall > 0 else float("inf"),
         "fastforward_ticks": sim.fastforward_ticks,
         "fastforward_spans": sim.fastforward_spans,
+        "busy_fastforward_ticks": sim.busy_fastforward_ticks,
+        "busy_fastforward_spans": sim.busy_fastforward_spans,
         "phases": timer.to_dict(),
     }
 
@@ -119,6 +134,42 @@ def bench(quick: bool, seed: int, repeats: int):
     return rows
 
 
+def compare(rows, baseline_path: str) -> None:
+    """Print per-scenario deltas against a previous results JSON.
+
+    Informational only (CI runs it non-blocking): wall-clock numbers
+    move with runner hardware, so the deltas are a trend signal, not a
+    gate.  Scenarios present on only one side are flagged rather than
+    failing.
+    """
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"\ncompare: cannot read baseline {baseline_path!r}: {exc}")
+        return
+    old_rows = {r["scenario"]: r for r in baseline.get("scenarios", [])}
+    print(f"\nvs {baseline_path} (quick={baseline.get('quick')}, "
+          f"seed={baseline.get('seed')}):")
+    header = (f"{'scenario':<18} {'speedup old→new':>18} "
+              f"{'ticks/s old→new':>24} {'delta':>8}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        old = old_rows.pop(row["scenario"], None)
+        if old is None:
+            print(f"{row['scenario']:<18} {'(new scenario)':>18}")
+            continue
+        new_tps = row["fastpath"]["ticks_per_sec"]
+        old_tps = old["fastpath"]["ticks_per_sec"]
+        delta = (new_tps / old_tps - 1.0) * 100.0 if old_tps else float("inf")
+        print(f"{row['scenario']:<18} "
+              f"{old['speedup']:>7.2f}x → {row['speedup']:>6.2f}x "
+              f"{old_tps:>11.0f} → {new_tps:>10.0f} {delta:>+7.1f}%")
+    for name in old_rows:
+        print(f"{name:<18} {'(removed scenario)':>18}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -128,25 +179,33 @@ def main(argv=None) -> int:
                         help="timed repetitions per path; best is kept")
     parser.add_argument("--out", metavar="PATH", default=None,
                         help="write results JSON (e.g. BENCH_engine.json)")
+    parser.add_argument("--compare", metavar="PATH", default=None,
+                        help="print per-scenario deltas vs a previous "
+                             "results JSON (read before --out overwrites it)")
     add_verbosity_args(parser)
     args = parser.parse_args(argv)
     setup_from_args(args)
 
     rows = bench(args.quick, args.seed, args.repeats)
 
-    header = f"{'scenario':<14} {'ref s':>8} {'fast s':>8} {'speedup':>8} {'fast ticks/s':>13} {'ff ticks':>9}"
+    header = (f"{'scenario':<18} {'ref s':>8} {'fast s':>8} {'speedup':>8} "
+              f"{'fast ticks/s':>13} {'ff ticks':>9} {'busy ff':>9}")
     print(header)
     print("-" * len(header))
     for row in rows:
-        print(f"{row['scenario']:<14} {row['reference']['wall_s']:>8.3f} "
+        print(f"{row['scenario']:<18} {row['reference']['wall_s']:>8.3f} "
               f"{row['fastpath']['wall_s']:>8.3f} {row['speedup']:>7.2f}x "
               f"{row['fastpath']['ticks_per_sec']:>13.0f} "
-              f"{row['fastpath']['fastforward_ticks']:>9}")
+              f"{row['fastpath']['fastforward_ticks']:>9} "
+              f"{row['fastpath']['busy_fastforward_ticks']:>9}")
 
     best = max(rows, key=lambda r: r["speedup"])
     worst = min(rows, key=lambda r: r["speedup"])
     print(f"\nbest: {best['scenario']} {best['speedup']:.2f}x; "
           f"worst: {worst['scenario']} {worst['speedup']:.2f}x")
+
+    if args.compare:
+        compare(rows, args.compare)
 
     if args.out:
         payload = {

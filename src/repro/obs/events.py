@@ -47,6 +47,7 @@ __all__ = [
     "FreqChanged",
     "InputBoost",
     "IdleFastForward",
+    "BusyFastForward",
     "ThermalCap",
     "ClusterSwitched",
 ]
@@ -162,6 +163,15 @@ class IdleFastForward:
 
 
 @dataclass(slots=True)
+class BusyFastForward:
+    """The engine replayed ``n_ticks`` busy steady-state ticks in one span."""
+
+    kind: ClassVar[str] = "busy_fast_forward"
+    n_ticks: int
+    tick: int = -1
+
+
+@dataclass(slots=True)
 class ThermalCap:
     """The thermal model changed the big cluster's frequency cap."""
 
@@ -191,6 +201,7 @@ ObsEvent = (
     | FreqChanged
     | InputBoost
     | IdleFastForward
+    | BusyFastForward
     | ThermalCap
     | ClusterSwitched
 )
@@ -205,6 +216,7 @@ EVENT_TYPES: tuple[type, ...] = (
     FreqChanged,
     InputBoost,
     IdleFastForward,
+    BusyFastForward,
     ThermalCap,
     ClusterSwitched,
 )

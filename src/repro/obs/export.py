@@ -31,6 +31,7 @@ import numpy as np
 from repro.obs.events import (
     ClusterSwitched,
     FreqChanged,
+    BusyFastForward,
     IdleFastForward,
     InputBoost,
     ObsEvent,
@@ -172,6 +173,13 @@ def perfetto_trace_events(
                 "dur": event.n_ticks * _TICK_US,
                 "args": {"n_ticks": event.n_ticks},
             })
+        elif isinstance(event, BusyFastForward):
+            out.append({
+                "ph": "X", "pid": _PID, "tid": engine_tid,
+                "name": "busy fast-forward", "ts": ts,
+                "dur": event.n_ticks * _TICK_US,
+                "args": {"n_ticks": event.n_ticks},
+            })
         elif isinstance(event, (TaskSpawned, TaskFinished)):
             verb = "spawn" if isinstance(event, TaskSpawned) else "finish"
             out.append({
@@ -281,7 +289,7 @@ def render_summary(snapshot: MetricsSnapshot) -> str:
     if hist and hist["count"]:
         mean = hist["sum"] / hist["count"]
         lines.append(
-            f"idle fast-forward spans: {hist['count']} "
+            f"fast-forward spans (idle+busy): {hist['count']} "
             f"(mean {mean:.0f} ticks, max {hist['max']:.0f})"
         )
     return "\n\n".join(lines)

@@ -32,6 +32,7 @@ from repro.obs.events import (
     ClusterSwitched,
     EventBus,
     FreqChanged,
+    BusyFastForward,
     IdleFastForward,
     InputBoost,
     ObsEvent,
@@ -273,6 +274,12 @@ class MetricsCollector:
         elif isinstance(event, IdleFastForward):
             reg.counter("fastforward.spans").inc()
             reg.counter("fastforward.ticks").inc(event.n_ticks)
+            reg.histogram(
+                "fastforward_span_ticks", FASTFORWARD_BUCKETS_TICKS
+            ).observe(event.n_ticks)
+        elif isinstance(event, BusyFastForward):
+            reg.counter("fastforward.busy_spans").inc()
+            reg.counter("fastforward.busy_ticks").inc(event.n_ticks)
             reg.histogram(
                 "fastforward_span_ticks", FASTFORWARD_BUCKETS_TICKS
             ).observe(event.n_ticks)

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.platform.coretypes import CoreType
 from repro.units import khz_to_ghz
 
@@ -174,3 +176,145 @@ class PowerModel:
             + sum(core_powers_mw)
             + sum(cluster_powers_mw)
         )
+
+
+class DeferredPowerPipeline:
+    """Deferred, vectorized evaluation of the per-tick power columns.
+
+    When there is no thermal or GPU feedback, nothing inside a run reads
+    the power columns — only post-run analyses do.  The engine then
+    records per-tick power as a placeholder and :meth:`stage`\\ s the raw
+    inputs (per-core busy fractions, activity factors, deep-idle flags);
+    :meth:`flush` computes core/cluster/system power for all staged ticks
+    at once with NumPy and writes the columns back into the trace.
+
+    **Bit-exactness contract** (verified by the golden-trace suite): the
+    vectorized arithmetic reproduces ``Simulator._record_tick``'s scalar
+    arithmetic operation for operation —
+
+    - per-OPP prefactors (``static_mw_per_v * V`` and
+      ``(dyn_mw_per_v2ghz * V**2) * f_ghz``) are precomputed in *Python*
+      floats with the exact expressions and association of
+      :meth:`PowerModel.core_power_mw`, then broadcast by OPP lookup, so
+      elementwise multiplies see identical operands;
+    - core and cluster sums are sequential left folds in core order
+      (never ``np.sum``, whose pairwise reduction rounds differently);
+    - values stay float64 end to end and are cast to float32 only on
+      assignment into the trace arrays — the same single cast the
+      per-tick path performs.
+
+    Frequencies are read back from the trace's already-recorded freq
+    columns, so the pipeline needs no per-tick frequency staging.
+    """
+
+    #: Auto-flush threshold: bounds the Python-list staging memory on
+    #: long runs (flushing mid-run is safe — staged row sets are disjoint).
+    _FLUSH_THRESHOLD = 65536
+
+    def __init__(self, power_model: PowerModel, trace, core_types, enabled, opp_tables):
+        self._pm = power_model
+        self._trace = trace
+        self._core_types = list(core_types)
+        self._enabled = list(enabled)
+        # Per-cluster OPP lookup tables: sorted frequencies plus the
+        # scalar prefactors of core_power_mw at each OPP.
+        self._luts: dict[CoreType, tuple] = {}
+        for core_type, table in opp_tables.items():
+            p = power_model.params.core[core_type]
+            freqs = sorted(table.frequencies_khz)
+            static_active = []
+            dyn_prefactor = []
+            for freq_khz in freqs:
+                voltage_v = table.voltage_at(freq_khz)
+                static_active.append(p.static_mw_per_v * voltage_v)
+                dyn_prefactor.append(
+                    (p.dyn_mw_per_v2ghz * voltage_v**2) * khz_to_ghz(freq_khz)
+                )
+            self._luts[core_type] = (
+                np.asarray(freqs, dtype=np.int64),
+                np.asarray(static_active, dtype=np.float64),
+                np.asarray(dyn_prefactor, dtype=np.float64),
+                p.idle_static_fraction,
+                p.deep_idle_static_fraction,
+            )
+        self._indices: list[int] = []
+        self._busy_rows: list[list[float]] = []
+        self._af_rows: list[list[float]] = []
+        self._deep_rows: list[list[bool]] = []
+
+    def stage(self, index, busy_fractions, activity_factors, deep_flags) -> None:
+        """Stage one tick's power inputs for trace row ``index``.
+
+        ``busy_fractions`` covers all cores; ``activity_factors`` and
+        ``deep_flags`` cover enabled cores in core order.  The lists are
+        kept by reference — callers must not mutate them afterwards.
+        """
+        self._indices.append(index)
+        self._busy_rows.append(busy_fractions)
+        self._af_rows.append(activity_factors)
+        self._deep_rows.append(deep_flags)
+        if len(self._indices) >= self._FLUSH_THRESHOLD:
+            self.flush()
+
+    def flush(self) -> None:
+        """Compute and write back power for all staged ticks."""
+        if not self._indices:
+            return
+        trace = self._trace
+        idx = np.asarray(self._indices, dtype=np.intp)
+        busy = np.asarray(self._busy_rows, dtype=np.float64)
+        af = np.asarray(self._af_rows, dtype=np.float64)
+        deep = np.asarray(self._deep_rows, dtype=bool)
+        self._indices, self._busy_rows = [], []
+        self._af_rows, self._deep_rows = [], []
+
+        pm = self._pm
+        n = len(idx)
+        freq_by_type = {
+            CoreType.LITTLE: trace.freq_khz(CoreType.LITTLE)[idx],
+            CoreType.BIG: trace.freq_khz(CoreType.BIG)[idx],
+        }
+        prefactors = {}
+        for core_type, (freqs, static_active, dyn_prefactor, ifrac, dfrac) in (
+            self._luts.items()
+        ):
+            pos = np.searchsorted(freqs, freq_by_type[core_type])
+            prefactors[core_type] = (
+                static_active[pos], dyn_prefactor[pos], ifrac, dfrac
+            )
+
+        # Sequential left folds in core order, exactly as _record_tick
+        # accumulates (0.0 + x == x for the positive powers involved).
+        core_sum = np.zeros(n, dtype=np.float64)
+        little_sum = np.zeros(n, dtype=np.float64)
+        big_sum = np.zeros(n, dtype=np.float64)
+        enabled_index = 0
+        for core_index, core_type in enumerate(self._core_types):
+            if not self._enabled[core_index]:
+                continue
+            static_active, dyn_prefactor, ifrac, dfrac = prefactors[core_type]
+            b = busy[:, core_index]
+            idle_fraction = np.where(deep[:, enabled_index], dfrac, ifrac)
+            static = b * static_active + ((1.0 - b) * static_active) * idle_fraction
+            dynamic = (dyn_prefactor * b) * af[:, enabled_index]
+            core_mw = static + dynamic
+            core_sum = core_sum + core_mw
+            if core_type is CoreType.LITTLE:
+                little_sum = little_sum + core_mw
+            else:
+                big_sum = big_sum + core_mw
+            enabled_index += 1
+
+        cluster_powers = [
+            pm.cluster_power_mw(
+                core_type,
+                any(
+                    e and t is core_type
+                    for t, e in zip(self._core_types, self._enabled)
+                ),
+            )
+            for core_type in (CoreType.LITTLE, CoreType.BIG)
+        ]
+        base = pm.params.base_mw + pm.params.screen_mw
+        system = (base + core_sum) + sum(cluster_powers)
+        trace.fill_power(idx, system, little_sum, big_sum)

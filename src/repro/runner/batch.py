@@ -53,6 +53,20 @@ class JobTimeout(Exception):
     """A job exceeded its per-job wall-clock budget."""
 
 
+def _worker_init() -> None:
+    """Pre-warm a pool worker before its first job.
+
+    Building the default chip here populates the per-process chip memo
+    (:func:`repro.runner.spec.resolve_chip`) and pulls the simulator
+    stack through import, so the one-time cost lands at pool start-up
+    instead of inside the first job's measured duration and SIGALRM
+    budget.
+    """
+    from repro.runner.spec import DEFAULT_CHIP_ID, resolve_chip
+
+    resolve_chip(DEFAULT_CHIP_ID)
+
+
 def _execute_job(spec: RunSpec, timeout_s: Optional[float]) -> RunResult:
     """Execute one spec with an optional in-process alarm timeout.
 
@@ -389,7 +403,9 @@ class BatchRunner:
             max_workers = min(self.workers, len(todo))
             retry_next: list[_Job] = []
             submit_t: dict[int, float] = {}
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            with ProcessPoolExecutor(
+                max_workers=max_workers, initializer=_worker_init
+            ) as pool:
                 futures = {}
                 for job in todo:
                     job.attempts += 1

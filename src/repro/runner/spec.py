@@ -28,6 +28,7 @@ import hashlib
 import importlib
 import json
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Callable, Optional, Union
 
 from repro.platform.chip import ChipSpec, CoreConfig, exynos5422
@@ -51,16 +52,38 @@ DEFAULT_CHIP_ID = "exynos5422-screen"
 
 
 def register_chip(chip_id: str, factory: Callable[[], ChipSpec]) -> None:
-    """Register a named chip factory usable as ``RunSpec.chip``."""
+    """Register a named chip factory usable as ``RunSpec.chip``.
+
+    Re-registering an id invalidates the per-process chip memo, so the
+    next :func:`resolve_chip` call sees the new factory.
+    """
     _CHIP_FACTORIES[chip_id] = factory
+    _cached_chip.cache_clear()
+
+
+@lru_cache(maxsize=None)
+def _cached_chip(chip_id: str) -> ChipSpec:
+    """Build a registry chip once per worker process.
+
+    A :class:`ChipSpec` is treated as immutable platform data by the
+    simulator (cores are instantiated fresh per run; the chip itself is
+    only read), so every run in a process can share one instance.
+    Sharing also warms the power model's OPP-quantized memo across runs
+    instead of rebuilding it per simulation.
+    """
+    return _CHIP_FACTORIES[chip_id]()
 
 
 def resolve_chip(chip: Union[str, ChipSpec]) -> ChipSpec:
-    """Instantiate the chip a spec names (registry id or inline object)."""
+    """Instantiate the chip a spec names (registry id or inline object).
+
+    Registry ids are memoized per process; registered factories must
+    therefore return specs the caller will not mutate afterwards.
+    """
     if isinstance(chip, ChipSpec):
         return chip
     try:
-        return _CHIP_FACTORIES[chip]()
+        return _cached_chip(chip)
     except KeyError:
         raise KeyError(
             f"unknown chip id {chip!r}; registered: {', '.join(sorted(_CHIP_FACTORIES))}"
@@ -207,6 +230,10 @@ class RunResult:
 # Kind registry and execution
 # ---------------------------------------------------------------------------
 
+#: ``CoreConfig.parse`` memoized per process — frozen dataclass, so the
+#: shared instance is safe; batches repeat the same handful of labels.
+_parse_core_config = lru_cache(maxsize=None)(CoreConfig.parse)
+
 
 def _run_app_kind(spec: RunSpec) -> RunResult:
     """Built-in kind: one Table II / extended app run (= ``run_app``)."""
@@ -221,7 +248,7 @@ def _run_app_kind(spec: RunSpec) -> RunResult:
             FPS_APP_SECONDS if app.metric is Metric.FPS else LATENCY_APP_CAP_SECONDS
         )
     core_config = (
-        CoreConfig.parse(spec.core_config) if spec.core_config is not None else None
+        _parse_core_config(spec.core_config) if spec.core_config is not None else None
     )
     config = SimConfig(
         chip=chip,

@@ -35,6 +35,10 @@ class ClusterSwitchingScheduler(HMPScheduler):
     #: NOT no-ops and the engine must not fast-forward over them.
     idle_tick_is_noop = False
 
+    #: Time-based switching state evolves every tick; busy spans cannot
+    #: be certified either.
+    busy_tick_guard = None
+
     def __init__(self, cores: list[SimCore], params: HMPParams):
         super().__init__(cores, params)
         # Start on the energy-efficient cluster when it exists.

@@ -34,6 +34,11 @@ class EfficiencyScheduler(HMPScheduler):
     balancing are inherited from the HMP base.
     """
 
+    #: The per-tick ranking re-places tasks whenever relative loads shift,
+    #: which the threshold-based busy-span guard cannot certify — opt out
+    #: of the engine's busy fast-forward.
+    busy_tick_guard = None
+
     def __init__(self, cores: list[SimCore], params: HMPParams, min_load: float = 128.0):
         super().__init__(cores, params)
         self.min_load = min_load

@@ -118,6 +118,36 @@ class Governor:
                 changes.append((offset, freq))
         return changes
 
+    def busy_tick_span(
+        self,
+        domain: ClusterFreqDomain,
+        n_ticks: int,
+        tick_s: float,
+        busy_by_core: dict[int, float],
+        commit: bool,
+    ) -> Optional[list[tuple[int, int]]]:
+        """Replay ``n_ticks`` governor ticks over a *busy steady-state*
+        span: every core of the domain accrues a constant
+        ``busy_by_core[core_id]`` seconds of execution per tick (0.0 for
+        cores not in the mapping).
+
+        Returns the frequency changes as ``(tick_offset, freq_khz)``
+        pairs — the frequency the engine would record at span-start +
+        offset — or ``None`` if this governor cannot replay busy spans
+        (the engine then falls back to tick-by-tick execution; this base
+        returns ``None``, so only governors that opt in are eligible).
+
+        With ``commit=False`` the call must be a pure dry run.  With
+        ``commit=True`` the governor applies its post-span counters, the
+        domain cores' ``busy_in_window_s`` accumulation/resets, and the
+        final frequency (via :meth:`ClusterFreqDomain.set_freq`), all
+        bit-exact with the tick-by-tick loop.  A commit for a *shorter*
+        span than a preceding dry run is valid: decisions at a window
+        boundary depend only on earlier ticks, so the change list of a
+        prefix is the prefix of the change list.
+        """
+        return None
+
 
 class InteractiveGovernor(Governor):
     """The load-tracking interactive governor (paper Algorithm 2)."""
@@ -209,8 +239,16 @@ class InteractiveGovernor(Governor):
         return changes
 
     def _next_freq(self, domain: ClusterFreqDomain, util: float) -> int:
+        return self._next_freq_value(
+            domain, domain.freq_khz, util, self._ticks_since_raise
+        )
+
+    def _next_freq_value(
+        self, domain: ClusterFreqDomain, freq: int, util: float, ticks_since_raise: int
+    ) -> int:
+        """Algorithm 2's frequency decision as a pure function of explicit
+        state, shared by the per-tick path and the busy-span replay."""
         p = self.params
-        freq = domain.freq_khz
         target = domain.opp_table.ceil(int(freq * util / p.target_load))
         if util > p.target_load:
             if p.hispeed_enabled:
@@ -222,10 +260,77 @@ class InteractiveGovernor(Governor):
             # min_sample_time: a raised frequency is held for a while
             # before scaling down, over-provisioning after bursts.
             # (One engine tick is one millisecond.)
-            if self._ticks_since_raise < p.hold_ms:
+            if ticks_since_raise < p.hold_ms:
                 return freq
             return target
         return freq
+
+    def busy_tick_span(
+        self,
+        domain: ClusterFreqDomain,
+        n_ticks: int,
+        tick_s: float,
+        busy_by_core: dict[int, float],
+        commit: bool,
+    ) -> Optional[list[tuple[int, int]]]:
+        """O(boundaries + busy ticks) busy-span replay (see base docstring).
+
+        Between boundaries each tick only increments counters and adds a
+        constant to the busy cores' ``busy_in_window_s``; the additions
+        are replayed as a tight scalar loop (not a closed form) so the
+        window sums — and therefore every utilization and frequency
+        decision — are bit-exact with the per-tick path.
+        """
+        if self._sampling_ticks <= 0:  # not started
+            return None
+        cores = domain.cores
+        sampling = self._sampling_ticks
+        window_ticks = self._window_ticks
+        since_raise = self._ticks_since_raise
+        boost = self._boost_ticks_left
+        freq = domain.freq_khz
+        window = [c.busy_in_window_s for c in cores]
+        adds = [busy_by_core.get(c.core_id, 0.0) for c in cores]
+        changes: list[tuple[int, int]] = []
+        done = 0
+        while done < n_ticks:
+            step = min(n_ticks - done, sampling - window_ticks)
+            for k, add in enumerate(adds):
+                if add != 0.0:
+                    v = window[k]
+                    for _ in range(step):
+                        v += add
+                    window[k] = v
+            window_ticks += step
+            since_raise += step
+            if boost > 0:
+                boost = max(0, boost - step)
+            done += step
+            if window_ticks >= sampling:
+                window_s = window_ticks * tick_s
+                window_ticks = 0
+                if cores:
+                    util = max(min(1.0, w / window_s) for w in window)
+                    for k in range(len(window)):
+                        window[k] = 0.0
+                    new_freq = self._next_freq_value(domain, freq, util, since_raise)
+                    if boost > 0:
+                        new_freq = max(new_freq, self.hispeed_khz(domain))
+                    if new_freq > freq:
+                        since_raise = 0
+                    clamped = min(new_freq, domain.cap_khz)
+                    if clamped != freq:
+                        freq = clamped
+                        changes.append((done - 1, freq))
+        if commit:
+            self._window_ticks = window_ticks
+            self._ticks_since_raise = since_raise
+            self._boost_ticks_left = boost
+            for k, core in enumerate(cores):
+                core.busy_in_window_s = window[k]
+            if freq != domain.freq_khz:
+                domain.set_freq(freq)
+        return changes
 
 
 class PinnedGovernor(Governor):
@@ -241,6 +346,27 @@ class PinnedGovernor(Governor):
     def idle_tick_span(
         self, domain: ClusterFreqDomain, start_tick: int, n_ticks: int, tick_s: float
     ) -> list[tuple[int, int]]:
+        return []
+
+    def busy_tick_span(
+        self,
+        domain: ClusterFreqDomain,
+        n_ticks: int,
+        tick_s: float,
+        busy_by_core: dict[int, float],
+        commit: bool,
+    ) -> Optional[list[tuple[int, int]]]:
+        # No decisions to replay; only the cores' window accumulation
+        # (never read by a pinned governor, but kept bit-exact so engine
+        # state after a span matches the tick-by-tick loop).
+        if commit:
+            for core in domain.cores:
+                add = busy_by_core.get(core.core_id, 0.0)
+                if add != 0.0:
+                    v = core.busy_in_window_s
+                    for _ in range(n_ticks):
+                        v += add
+                    core.busy_in_window_s = v
         return []
 
 

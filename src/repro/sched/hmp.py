@@ -18,14 +18,35 @@ per the paper, so a bursty task returns to a big core directly).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.obs.events import EventBus, TaskMigrated
 from repro.platform.coretypes import CoreType
-from repro.sched.balance import balance_cluster, least_loaded
+from repro.sched.balance import balance_cluster, counts_balanced, least_loaded
 from repro.sched.params import HMPParams
 from repro.sim.core import SimCore
 from repro.sim.task import Task, TaskState
+
+
+class BusyTickGuard(NamedTuple):
+    """What could still trigger a migration during a busy steady span.
+
+    Produced by :meth:`HMPScheduler.busy_tick_guard` for the engine's
+    busy fast-forward.  Runqueue *counts* are frozen for the span (no
+    wakeups, sleeps, or exits by construction), so the only remaining
+    migration sources are the load thresholds; this names which of them
+    are structurally reachable so the engine can bound each task's load
+    trajectory against the right one.
+    """
+
+    #: A little->big migration can fire if some little task's load rises
+    #: above ``up_threshold`` (requires an idle big core to exist).
+    up_possible: bool
+    up_threshold: float
+    #: A big->little migration can fire if some big task's load drops
+    #: below ``down_threshold`` (requires little cores to exist).
+    down_possible: bool
+    down_threshold: float
 
 
 class HMPScheduler:
@@ -129,6 +150,37 @@ class HMPScheduler:
         balance_cluster(self.little_cores, obs=self.obs)
         balance_cluster(self.big_cores, obs=self.obs)
         return migrations
+
+    def busy_tick_guard(self) -> Optional[BusyTickGuard]:
+        """Certify that :meth:`tick` is load-threshold-driven for a busy
+        steady span, or return ``None`` when a count-driven pass (offload
+        or intra-cluster balancing) would fire on the current runqueues.
+
+        The engine's busy fast-forward calls this once per candidate
+        span.  Runqueue counts cannot change inside the span, so a single
+        structural check covers every tick; what *can* change is tracked
+        load, and the returned guard tells the engine which thresholds
+        remain reachable.  Subclasses whose tick is not reducible to
+        these rules (ranked placement, parallelism feedback, time-based
+        cluster switching) opt out by overriding this with ``None`` — the
+        class attribute form ``busy_tick_guard = None`` works too, which
+        is also what the engine's ``getattr`` eligibility probe checks.
+        """
+        if not counts_balanced(self.little_cores) or not counts_balanced(self.big_cores):
+            return None
+        if (
+            self.little_cores
+            and any(c.nr_running() == 0 for c in self.little_cores)
+            and any(b.nr_running() >= 2 for b in self.big_cores)
+        ):
+            return None  # the big-overload offload path would move a task
+        big_has_idle = any(c.nr_running() == 0 for c in self.big_cores)
+        return BusyTickGuard(
+            up_possible=bool(self.big_cores) and big_has_idle,
+            up_threshold=self.params.up_threshold,
+            down_possible=bool(self.little_cores),
+            down_threshold=self.params.down_threshold,
+        )
 
     def _offload_overloaded_big(self) -> int:
         """Move excess big-core tasks down to idle little cores.

@@ -55,6 +55,33 @@ class LoadTracker:
         self._value = self._decay * self._value + (1.0 - self._decay) * sample
         return self._value
 
+    @property
+    def decay_factor(self) -> float:
+        """Per-tick geometric decay factor (0.5 ** (TICK_MS / halflife))."""
+        return self._decay
+
+    def advance(self, sample: float, ticks: int) -> float:
+        """Fold in ``ticks`` consecutive identical samples and return the average.
+
+        Bit-exact equivalent of calling :meth:`update` ``ticks`` times with
+        the same ``sample``: the loop performs the same two multiplies and
+        one add per tick, in the same order, so fast-forwarded spans land
+        on the identical IEEE-754 value as tick-by-tick execution.  (The
+        closed form ``d**n * v + (1 - d**n) * s`` is *not* bit-exact, which
+        is why a tight scalar loop is used instead.)
+        """
+        if not 0.0 <= sample <= LOAD_SCALE:
+            raise ValueError(f"sample must be in [0, {LOAD_SCALE}], got {sample}")
+        if ticks < 0:
+            raise ValueError(f"ticks must be non-negative, got {ticks}")
+        d = self._decay
+        contrib = (1.0 - d) * sample
+        v = self._value
+        for _ in range(ticks):
+            v = d * v + contrib
+        self._value = v
+        return v
+
     def decay(self, ticks: int) -> float:
         """Age the average over ``ticks`` of sleep (no new samples).
 

@@ -30,6 +30,11 @@ from repro.sim.task import Task, TaskState
 class ParallelismAwareScheduler(HMPScheduler):
     """Serial phases ride big cores; parallel phases spread over littles."""
 
+    #: Placement depends on the runnable-task census, not just the HMP
+    #: thresholds, so busy spans cannot be certified — opt out of the
+    #: engine's busy fast-forward.
+    busy_tick_guard = None
+
     def __init__(
         self,
         cores: list[SimCore],

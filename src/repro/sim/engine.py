@@ -24,6 +24,27 @@ piecewise-constant blocks.  The fast path is **bit-exact** with the
 reference tick-by-tick loop — see ``docs/architecture.md`` for the
 eligibility invariants — and is pinned off with
 ``SimConfig(fastpath=False)`` or ``REPRO_ENGINE_FASTPATH=0``.
+
+**Busy fast-forward.**  CPU-bound phases are the complementary case:
+every runqueue is frozen (no sleeper due, no channel signal pending, no
+task can exhaust its work before the horizon), each running task gets a
+constant processor-sharing slice per tick, and the scheduler certifies
+via :meth:`HMPScheduler.busy_tick_guard` that only load-threshold
+migrations could fire.  The engine dry-runs the governors over the span
+(:meth:`Governor.busy_tick_span`), bounds every task's load trajectory
+against the reachable thresholds tick by tick (same EWMA arithmetic, so
+the bound is exact, not approximate), and then replays the whole span
+without per-tick scheduler/governor/power work: loads advance through
+:meth:`LoadTracker.advance`, work through
+:meth:`Task.fastforward_steady`, and the trace through
+:meth:`Trace.record_block` — all bit-exact with the reference loop.
+
+**Deferred power.**  For ticks that are stepped normally, power is not
+computed per tick when there is no thermal/GPU feedback: ``_record_tick``
+stages (busy, activity, idle-state) rows and
+:class:`repro.platform.power.DeferredPowerPipeline` computes the
+system/cluster/core power columns vectorized at the end of the run,
+bit-exact with the per-tick path.
 """
 
 from __future__ import annotations
@@ -35,6 +56,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.obs.events import (
+    BusyFastForward,
     EventBus,
     FreqChanged,
     IdleFastForward,
@@ -47,6 +69,8 @@ from repro.obs.events import (
 from repro.platform.chip import ChipSpec, CoreConfig, exynos5422
 from repro.platform.coretypes import CoreType
 from repro.platform.gpu import GpuSpec
+from repro.platform.perfmodel import cached_throughput
+from repro.platform.power import DeferredPowerPipeline
 from repro.platform.thermal import ThermalModel, ThermalParams
 from repro.sim.gpu import GpuDevice
 from repro.sched.governor import (
@@ -66,6 +90,18 @@ from repro.units import LOAD_SCALE, TICK_MS
 #: Shortest idle span worth the fast-forward setup cost; shorter spans
 #: fall through to the (equivalent) reference steps.
 _MIN_FASTFORWARD_TICKS = 8
+
+#: Shortest busy steady-state span worth the (heavier) probe: the busy
+#: probe dry-runs governors and load trajectories, so it needs more
+#: ticks to amortize than the idle one.
+_MIN_BUSY_FASTFORWARD_TICKS = 16
+
+#: Longest span one busy probe will certify.  The probe's dry runs are
+#: O(span), so an uncapped horizon would make a probe that *fails* late
+#: (load crossing near the end) disproportionately expensive; chunking
+#: bounds any single probe while long steady phases still fast-forward
+#: as a short sequence of giant spans.
+_BUSY_FASTFORWARD_CHUNK_TICKS = 8192
 
 
 @dataclass
@@ -201,9 +237,41 @@ class Simulator:
             and config.gpu is None
             and getattr(self.hmp, "idle_tick_is_noop", False)
         )
-        #: Fast-forward statistics (spans taken, ticks skipped over).
+        # Busy fast-forward additionally needs a scheduler that can
+        # certify its tick is load-threshold-driven on frozen runqueues
+        # (busy_tick_guard; subclasses opt out with the attribute form
+        # ``busy_tick_guard = None``) and governors that implement the
+        # busy-span replay (the base ``Governor.busy_tick_span`` returns
+        # None, so only overriders qualify).
+        self.busy_fastpath_enabled = (
+            self.fastpath_enabled
+            and getattr(self.hmp, "busy_tick_guard", None) is not None
+            and all(
+                type(g).busy_tick_span is not Governor.busy_tick_span
+                for g in self.governors.values()
+            )
+        )
+        #: Fast-forward statistics (idle + busy spans taken, ticks
+        #: skipped over); the ``busy_*`` pair counts the busy subset.
         self.fastforward_spans = 0
         self.fastforward_ticks = 0
+        self.busy_fastforward_spans = 0
+        self.busy_fastforward_ticks = 0
+        # A probe that found a near crossing is not retried until the
+        # predicted crossing tick has been stepped past.
+        self._busy_probe_cooldown = 0
+
+        # Deferred power: with no thermal/GPU feedback, nothing inside
+        # the run reads the power columns, so per-tick power evaluation
+        # can be batched into one vectorized post-pass.  Instantiated at
+        # run() start (tick hooks may still be registered until then).
+        self.deferred_power_enabled = (
+            config.fastpath
+            and env not in ("0", "false", "off", "no")
+            and config.thermal is None
+            and config.gpu is None
+        )
+        self._deferred: Optional[DeferredPowerPipeline] = None
 
         self.trace = Trace(
             core_types=[c.core_type for c in self.cores],
@@ -378,14 +446,33 @@ class Simulator:
 
     def run(self) -> Trace:
         """Run to completion and return the finalized trace."""
+        if (
+            self.deferred_power_enabled
+            and not self._tick_hooks
+            and self._deferred is None
+        ):
+            self._deferred = DeferredPowerPipeline(
+                self._pm,
+                self.trace,
+                [c.core_type for c in self.cores],
+                [c.enabled for c in self.cores],
+                {ct: dom.opp_table for ct, dom in self.domains.items()},
+            )
         while self.tick < self.max_ticks and not self._stop_requested:
             span = self._idle_horizon()
             if span >= _MIN_FASTFORWARD_TICKS:
                 self._fast_forward_idle(span)
                 continue
+            if self.busy_fastpath_enabled:
+                n, plan = self._busy_horizon()
+                if n:
+                    self._fast_forward_busy(n, plan)
+                    continue
             self._step()
             if self._unfinished == 0:
                 break
+        if self._deferred is not None:
+            self._deferred.flush()
         self.trace.finalize()
         return self.trace
 
@@ -415,6 +502,33 @@ class Simulator:
         if self._sleep_heap and self._sleep_heap[0][0] < horizon:
             horizon = self._sleep_heap[0][0]
         return horizon - self.tick
+
+    def _emit_span_freq_changes(
+        self,
+        changes: dict[CoreType, list[tuple[int, int]]],
+        start: int,
+        freq0: dict[CoreType, int],
+    ) -> None:
+        """Re-emit a replayed span's frequency changes in reference order.
+
+        The per-tick loop evaluates governors in ``self.governors`` order
+        within each tick, so changes from different clusters interleave by
+        tick in the reference event stream.  Merging the per-domain chains
+        on (tick offset, governor order) reproduces that stream exactly.
+        """
+        order = {ct: i for i, ct in enumerate(self.governors)}
+        merged = []
+        for core_type, change_list in changes.items():
+            prev = freq0[core_type]
+            for offset, khz in change_list:
+                merged.append((offset, order[core_type], core_type, prev, khz))
+                prev = khz
+        merged.sort(key=lambda item: (item[0], item[1]))
+        for offset, _rank, core_type, prev, khz in merged:
+            self.obs.emit(FreqChanged(
+                cluster=core_type.value, old_khz=prev, new_khz=khz,
+                tick=start + offset,
+            ))
 
     def _fast_forward_idle(self, n: int) -> None:
         """Advance ``n`` fully-idle ticks in one step, bit-exactly.
@@ -453,16 +567,10 @@ class Simulator:
                     changes[core_type] = governor.idle_tick_span(
                         self.domains[core_type], start, n, self.tick_s
                     )
-            for core_type, prev in (
-                (CoreType.LITTLE, freq_little),
-                (CoreType.BIG, freq_big),
-            ):
-                for offset, khz in changes[core_type]:
-                    self.obs.emit(FreqChanged(
-                        cluster=core_type.value, old_khz=prev, new_khz=khz,
-                        tick=start + offset,
-                    ))
-                    prev = khz
+            self._emit_span_freq_changes(
+                changes, start,
+                {CoreType.LITTLE: freq_little, CoreType.BIG: freq_big},
+            )
 
         # Segment boundaries: span ends, governor frequency changes, and
         # each enabled core's deep-idle entry (idle_ticks crosses the
@@ -534,6 +642,369 @@ class Simulator:
         self.fastforward_spans += 1
         self.fastforward_ticks += n
 
+    # -- busy fast-forward -------------------------------------------------
+
+    def _busy_horizon(self) -> tuple[int, Optional[tuple]]:
+        """Probe for a busy steady-state span starting at this tick.
+
+        Returns ``(n_ticks, plan)`` where ``plan`` carries the probe's
+        reusable intermediates, or ``(0, None)`` when ineligible.
+        Eligible means every tick of the span replays the reference loop
+        exactly without per-tick work:
+
+        - no sleeper due and no channel wake pending before the horizon
+          (running tasks are all mid-``Work``, so no new signal can be
+          posted inside the span either);
+        - every queued task is runnable and provably cannot exhaust its
+          work (the horizon is cut one full maximum-rate decrement short
+          of the earliest possible exhaustion);
+        - the DRAM contention factor is constant across the span
+          (including the first tick, which still sees the pre-span busy
+          core count);
+        - the scheduler certifies its tick reduces to load-threshold
+          checks on the frozen runqueues (:meth:`busy_tick_guard`);
+        - every governor can replay the span (``busy_tick_span`` dry
+          run), and no task's load trajectory reaches a reachable
+          migration threshold before the horizon
+          (:meth:`_busy_span_load_safe`, exact EWMA arithmetic).
+        """
+        if self._tick_hooks or self.tick < self._busy_probe_cooldown:
+            return 0, None
+        horizon = min(self.max_ticks - self.tick, _BUSY_FASTFORWARD_CHUNK_TICKS)
+        if self._sleep_heap:
+            horizon = min(horizon, self._sleep_heap[0][0] - self.tick)
+        if horizon < _MIN_BUSY_FASTFORWARD_TICKS:
+            return 0, None
+        for chan in self._watched_channels:
+            if chan.waiters and chan.permits >= chan.waiters[0][1]:
+                return 0, None
+        busy_cores = []
+        for core in self.cores:
+            if not core.runqueue:
+                continue
+            if not core.enabled:
+                return 0, None
+            for task in core.runqueue:
+                if task.state is not TaskState.RUNNABLE:
+                    return 0, None
+            busy_cores.append(core)
+        if not busy_cores:
+            return 0, None
+        chip = self.config.chip
+        contention = chip.memory_contention(len(busy_cores))
+        if contention != chip.memory_contention(self._busy_cores_prev):
+            return 0, None
+        guard = self.hmp.busy_tick_guard()
+        if guard is None:
+            return 0, None
+        tick_s = self.tick_s
+        core_plans = []
+        for core in busy_cores:
+            n_rq = len(core.runqueue)
+            share = tick_s / n_rq
+            for task in core.runqueue:
+                # Throughput is monotone in frequency, so the max-OPP
+                # rate bounds the per-tick work decrement at any
+                # frequency the governor might pick inside the span.
+                tput_max = cached_throughput(
+                    core.spec, core.max_freq_khz, task.current_work_class, contention
+                )
+                dec_max = share * tput_max
+                if dec_max <= 0.0:
+                    return 0, None
+                horizon = min(horizon, int(task.remaining_units / dec_max) - 1)
+            core_plans.append((core, n_rq, share))
+        if horizon < _MIN_BUSY_FASTFORWARD_TICKS:
+            return 0, None
+        # Each busy core accrues the same busy seconds every tick: the
+        # water-filling fold of one share per queued task.
+        busy_by_core: dict[int, float] = {}
+        for core, n_rq, share in core_plans:
+            b = 0.0
+            for _ in range(n_rq):
+                b += share
+            busy_by_core[core.core_id] = b
+        changes: dict[CoreType, list[tuple[int, int]]] = {
+            CoreType.LITTLE: [],
+            CoreType.BIG: [],
+        }
+        for core_type, governor in self.governors.items():
+            span_changes = governor.busy_tick_span(
+                self.domains[core_type], horizon, tick_s, busy_by_core, commit=False
+            )
+            if span_changes is None:
+                return 0, None
+            changes[core_type] = span_changes
+        safe = self._busy_span_load_safe(horizon, changes, core_plans, guard)
+        if safe < horizon:
+            if safe < _MIN_BUSY_FASTFORWARD_TICKS:
+                # Too close to a migration to amortize the replay; step
+                # normally up to the predicted crossing before reprobing.
+                self._busy_probe_cooldown = self.tick + max(1, safe)
+                return 0, None
+            horizon = safe
+        return horizon, (core_plans, busy_by_core, contention)
+
+    def _busy_span_load_safe(
+        self,
+        n: int,
+        changes: dict[CoreType, list[tuple[int, int]]],
+        core_plans: list,
+        guard,
+    ) -> int:
+        """Largest span prefix in which no reachable load threshold fires.
+
+        Replays every queued task's load EWMA with the exact per-tick
+        arithmetic of :meth:`_update_loads` (samples change only at
+        governor frequency segments), checking the threshold the HMP
+        guard says is reachable for the task's cluster after each
+        update.  A crossing predicted at offset ``j`` means the
+        migration pass at span tick ``j`` would move the task, so only
+        ``j`` ticks are safe to fast-forward.
+        """
+        safe = n
+        tick_s = self.tick_s
+        # Execution/load-frequency segments: a change recorded at offset
+        # o takes effect on execution (and load sampling) at o + 1.
+        segments: dict[CoreType, list[tuple[int, int, int]]] = {}
+        for core_type, change_list in changes.items():
+            freq = self.domains[core_type].freq_khz
+            segs = []
+            seg_start = 0
+            for offset, khz in change_list:
+                cut = offset + 1
+                if cut >= n:
+                    break
+                if cut > seg_start:
+                    segs.append((seg_start, cut, freq))
+                seg_start = cut
+                freq = khz
+            if seg_start < n:
+                segs.append((seg_start, n, freq))
+            segments[core_type] = segs
+        for core, n_rq, share in core_plans:
+            is_little = core.core_type is CoreType.LITTLE
+            if is_little:
+                if not guard.up_possible:
+                    continue
+                threshold = guard.up_threshold
+            else:
+                if not guard.down_possible:
+                    continue
+                threshold = guard.down_threshold
+            segs = segments[core.core_type]
+            max_khz = core.max_freq_khz
+            runnable_frac = min(1.0, share * n_rq / tick_s)
+            for task in core.runqueue:
+                v = task.load.value
+                d = task.load.decay_factor
+                crossed = False
+                for seg_start, seg_end, khz in segs:
+                    if seg_start >= safe:
+                        break
+                    end = min(seg_end, safe)
+                    freq_scale = khz / max_khz
+                    sample = runnable_frac * freq_scale * LOAD_SCALE
+                    contrib = (1.0 - d) * sample
+                    for j in range(seg_start, end):
+                        v = d * v + contrib
+                        if (v > threshold) if is_little else (v < threshold):
+                            safe = j
+                            crossed = True
+                            break
+                    if crossed:
+                        break
+                if safe == 0:
+                    return 0
+        return safe
+
+    def _fast_forward_busy(self, n: int, plan: tuple) -> None:
+        """Advance ``n`` busy steady-state ticks in one step, bit-exactly.
+
+        The probe proved the running set is frozen: each busy core's
+        queued tasks each consume one constant processor-sharing slice
+        per tick, the scheduler pass cannot move anything, and the
+        governors' decisions depend only on the (constant) per-tick
+        window accumulation.  Governors commit their span replay
+        (``busy_tick_span(commit=True)``), task loads advance through
+        :meth:`LoadTracker.advance` and work through
+        :meth:`Task.fastforward_steady` per frequency segment, and the
+        trace is backfilled in piecewise-constant ``record_block``
+        segments with every float computed as ``_record_tick`` would.
+        """
+        core_plans, busy_by_core, contention = plan
+        start = self.tick
+        pm = self._pm
+        tick_s = self.tick_s
+        deep_entry = self._deep_entry_ticks
+        dom_little = self.domains[CoreType.LITTLE]
+        dom_big = self.domains[CoreType.BIG]
+        freq_little = dom_little.freq_khz
+        freq_big = dom_big.freq_khz
+
+        changes: dict[CoreType, list[tuple[int, int]]] = {
+            CoreType.LITTLE: [],
+            CoreType.BIG: [],
+        }
+        if self.obs is None:
+            for core_type, governor in self.governors.items():
+                changes[core_type] = governor.busy_tick_span(
+                    self.domains[core_type], n, tick_s, busy_by_core, commit=True
+                )
+        else:
+            # Same convention as the idle fast-forward: mute the replay's
+            # set_freq emissions and re-emit each change with its exact
+            # historical tick.
+            self.obs.emit(BusyFastForward(n_ticks=n, tick=start))
+            with self.obs.muted():
+                for core_type, governor in self.governors.items():
+                    changes[core_type] = governor.busy_tick_span(
+                        self.domains[core_type], n, tick_s, busy_by_core, commit=True
+                    )
+            self._emit_span_freq_changes(
+                changes, start,
+                {CoreType.LITTLE: freq_little, CoreType.BIG: freq_big},
+            )
+
+        # Execution segments (a change at offset o executes from o + 1).
+        exec_segments: dict[CoreType, list[tuple[int, int, int]]] = {}
+        for core_type, change_list in changes.items():
+            freq = freq_little if core_type is CoreType.LITTLE else freq_big
+            segs = []
+            seg_start = 0
+            for offset, khz in change_list:
+                cut = offset + 1
+                if cut >= n:
+                    break
+                if cut > seg_start:
+                    segs.append((seg_start, cut, freq))
+                seg_start = cut
+                freq = khz
+            if seg_start < n:
+                segs.append((seg_start, n, freq))
+            exec_segments[core_type] = segs
+
+        # Replay loads, work, and per-core tick accounting.
+        for core, n_rq, share in core_plans:
+            segs = exec_segments[core.core_type]
+            max_khz = core.max_freq_khz
+            runnable_frac = min(1.0, share * n_rq / tick_s)
+            aw = 0.0
+            for task in core.runqueue:
+                for seg_start, seg_end, khz in segs:
+                    seg_len = seg_end - seg_start
+                    freq_scale = khz / max_khz
+                    task.load.advance(
+                        runnable_frac * freq_scale * LOAD_SCALE, seg_len
+                    )
+                    task.fastforward_steady(
+                        share,
+                        cached_throughput(
+                            core.spec, khz, task.current_work_class, contention
+                        ),
+                        seg_len,
+                    )
+                task.runnable_at_tick_start = True
+                aw += share * task.current_activity_factor()
+            core.busy_in_tick_s = busy_by_core[core.core_id]
+            core.activity_weighted_s = aw
+            core.tick_tasks = list(core.runqueue)
+            core.nr_start = n_rq
+            core.idle_ticks = 0
+        busy_ids = set(busy_by_core)
+        for core in self.cores:
+            core.memory_contention = contention
+            if core.enabled and core.core_id not in busy_ids:
+                # begin_tick's per-tick reset, which every span tick
+                # would have applied to cores left idle by the span.
+                core.busy_in_tick_s = 0.0
+                core.activity_weighted_s = 0.0
+                core.tick_tasks = []
+                core.nr_start = 0
+
+        # Trace backfill: piecewise-constant between span ends, governor
+        # changes (recorded at their offset), and idle cores' deep-idle
+        # entries; busy fractions are constant for the whole span.
+        enabled = [c for c in self.cores if c.enabled]
+        idle_base = {
+            c.core_id: c.idle_ticks for c in enabled if c.core_id not in busy_ids
+        }
+        cuts = {0, n}
+        for change_list in changes.values():
+            for offset, _ in change_list:
+                if offset < n:
+                    cuts.add(offset)
+        deep_min = math.ceil(deep_entry)
+        for core_id, base in idle_base.items():
+            crossing = deep_min - base - 1
+            if 0 < crossing < n:
+                cuts.add(crossing)
+        busy_all = [
+            core.busy_fraction(tick_s) if core.enabled else 0.0
+            for core in self.cores
+        ]
+
+        cluster_powers = [
+            pm.cluster_power_mw(ct, any(c.enabled for c in self.domains[ct].cores))
+            for ct in (CoreType.LITTLE, CoreType.BIG)
+        ]
+        little_changes = changes[CoreType.LITTLE]
+        big_changes = changes[CoreType.BIG]
+        i_little = i_big = 0
+        ordered_cuts = sorted(cuts)
+        for a, b in zip(ordered_cuts, ordered_cuts[1:]):
+            while i_little < len(little_changes) and little_changes[i_little][0] <= a:
+                freq_little = little_changes[i_little][1]
+                i_little += 1
+            while i_big < len(big_changes) and big_changes[i_big][0] <= a:
+                freq_big = big_changes[i_big][1]
+                i_big += 1
+            volt_little = dom_little.opp_table.voltage_at(freq_little)
+            volt_big = dom_big.opp_table.voltage_at(freq_big)
+            core_powers = []
+            little_cpu_mw = big_cpu_mw = 0.0
+            for core in enabled:
+                if core.core_id in busy_ids:
+                    deep = 0 >= deep_entry
+                else:
+                    deep = idle_base[core.core_id] + a + 1 >= deep_entry
+                is_little = core.core_type is CoreType.LITTLE
+                core_mw = pm.core_power_mw(
+                    core.core_type,
+                    freq_little if is_little else freq_big,
+                    volt_little if is_little else volt_big,
+                    busy_all[core.core_id],
+                    core.mean_activity_factor(),
+                    deep_idle=deep,
+                )
+                core_powers.append(core_mw)
+                if is_little:
+                    little_cpu_mw += core_mw
+                else:
+                    big_cpu_mw += core_mw
+            power = pm.system_power_mw(core_powers, cluster_powers)
+            self.trace.record_block(
+                b - a,
+                freq_little,
+                freq_big,
+                power,
+                wakeups=0,
+                little_cpu_mw=little_cpu_mw,
+                big_cpu_mw=big_cpu_mw,
+                busy_fraction=busy_all,
+            )
+
+        for core in enabled:
+            if core.core_id not in busy_ids:
+                core.idle_ticks += n
+        self._busy_cores_prev = sum(1 for bf in busy_all if bf > 0.0)
+        self._wakeups_this_tick = 0
+        self.tick = start + n
+        self.fastforward_spans += 1
+        self.fastforward_ticks += n
+        self.busy_fastforward_spans += 1
+        self.busy_fastforward_ticks += n
+
     def _step(self) -> None:
         self._wakeups_this_tick = 0
         self._process_wakeups()
@@ -576,6 +1047,36 @@ class Simulator:
         tick_s = self.tick_s
         dom_little = self.domains[CoreType.LITTLE]
         dom_big = self.domains[CoreType.BIG]
+        dp = self._deferred
+        if dp is not None:
+            # Deferred power: record only the raw per-tick columns now
+            # (busy, freqs, wakeups) with a power placeholder, and stage
+            # the power inputs; DeferredPowerPipeline.flush backfills
+            # the power columns vectorized, bit-exact with the scalar
+            # path below.  Only reachable with thermal and GPU disabled.
+            busy = []
+            afs = []
+            deeps = []
+            for core in self.cores:
+                frac = core.busy_fraction(tick_s) if core.enabled else 0.0
+                busy.append(frac)
+                if core.enabled:
+                    if frac <= 0.0:
+                        core.idle_ticks += 1
+                    else:
+                        core.idle_ticks = 0
+                    afs.append(core.mean_activity_factor())
+                    deeps.append(core.idle_ticks >= deep_entry_ticks)
+            self._busy_cores_prev = sum(1 for b in busy if b > 0.0)
+            self.trace.record(
+                busy,
+                dom_little.freq_khz,
+                dom_big.freq_khz,
+                0.0,
+                wakeups=self._wakeups_this_tick,
+            )
+            dp.stage(len(self.trace) - 1, busy, afs, deeps)
+            return
         # Cluster voltage is shared; evaluate it once per tick per domain
         # instead of once per core.
         volt_little = dom_little.voltage_v()

@@ -245,6 +245,39 @@ class Task:
         self.total_busy_s += used
         return used
 
+    def fastforward_steady(self, share_s: float, throughput: float, ticks: int) -> None:
+        """Replay ``ticks`` steady-state execution ticks in one call.
+
+        Bit-exact twin of what ``ticks`` reference ticks do to this task
+        when it is the whole time runnable on one core with a constant
+        processor-sharing slice of ``share_s`` seconds and a constant
+        ``throughput`` (units/s): each tick consumes ``share_s * throughput``
+        work units and ``share_s`` CPU seconds.  The caller (the engine's
+        busy fast-forward) has already proven the work cannot run out —
+        ``remaining_units`` stays above the exhaustion epsilon for every
+        tick of the span — so no directive can fire mid-span.
+
+        The decrements are replayed as a tight scalar loop in the same
+        order as :meth:`run_for` (``rem -= share*tput`` then the busy-time
+        adds), not as closed-form multiplication, to keep the floats
+        identical to tick-by-tick execution.
+        """
+        if self.state is not TaskState.RUNNABLE:
+            raise RuntimeError(f"fastforward_steady on non-runnable task {self.name}")
+        dec = share_s * throughput
+        rem = self._remaining_units
+        total = self.total_busy_s
+        for _ in range(ticks):
+            rem -= dec
+            total += share_s
+        if rem <= _WORK_EPS_UNITS:
+            raise RuntimeError(
+                f"fastforward_steady exhausted work of task {self.name}"
+            )
+        self._remaining_units = rem
+        self.total_busy_s = total
+        self.busy_in_tick_s = share_s
+
     def _advance(self, sim: "Simulator") -> None:
         """Pull the next directive from the generator and apply it.
 

@@ -47,7 +47,10 @@ class Trace:
     ) -> None:
         i = self._len
         if i >= self._busy.shape[1]:
-            raise RuntimeError("trace capacity exceeded")
+            raise RuntimeError(
+                f"trace capacity exceeded: needed {i + 1} ticks but only "
+                f"{self._busy.shape[1]} were preallocated"
+            )
         self._busy[:, i] = busy_fractions
         self._freq[0, i] = little_freq_khz
         self._freq[1, i] = big_freq_khz
@@ -66,24 +69,35 @@ class Trace:
         wakeups: int = 0,
         little_cpu_mw: float = 0.0,
         big_cpu_mw: float = 0.0,
-        busy_fraction: float = 0.0,
+        busy_fraction: "float | list[float]" = 0.0,
     ) -> None:
         """Record ``n_ticks`` consecutive ticks sharing one set of values.
 
         The bulk-append twin of :meth:`record`, used by the engine's idle
-        fast-forward to backfill a piecewise-constant span in one
-        vectorized assignment per column.  Values land in the arrays
+        and busy fast-forwards to backfill a piecewise-constant span in
+        one vectorized assignment per column.  Values land in the arrays
         exactly as ``n_ticks`` individual :meth:`record` calls would
         (identical float32 casts), so fast-forwarded traces stay
         bit-exact with tick-by-tick recording.
+
+        ``busy_fraction`` is either one scalar applied to every core
+        (the idle case) or a length-``n_cores`` sequence of per-core
+        fractions held constant across the span (the busy steady-state
+        case).
         """
         if n_ticks <= 0:
             raise ValueError(f"n_ticks must be positive, got {n_ticks}")
         i = self._len
         j = i + n_ticks
         if j > self._busy.shape[1]:
-            raise RuntimeError("trace capacity exceeded")
-        self._busy[:, i:j] = busy_fraction
+            raise RuntimeError(
+                f"trace capacity exceeded: needed {j} ticks but only "
+                f"{self._busy.shape[1]} were preallocated"
+            )
+        if isinstance(busy_fraction, (int, float)):
+            self._busy[:, i:j] = busy_fraction
+        else:
+            self._busy[:, i:j] = np.asarray(busy_fraction, dtype=np.float32)[:, None]
         self._freq[0, i:j] = little_freq_khz
         self._freq[1, i:j] = big_freq_khz
         self._power[i:j] = power_mw
@@ -91,6 +105,24 @@ class Trace:
         self._cpu_power[1, i:j] = big_cpu_mw
         self._wakeups[i:j] = wakeups
         self._len = j
+
+    def fill_power(self, indices: np.ndarray, system_mw: np.ndarray,
+                   little_mw: np.ndarray, big_mw: np.ndarray) -> None:
+        """Backfill the power columns at already-recorded ``indices``.
+
+        Used by the deferred power pipeline: the engine records placeholder
+        power values during the run and the pipeline writes the real ones
+        here in one fancy-indexed assignment per column.  The float32 cast
+        happens at assignment, exactly as in :meth:`record`.
+        """
+        if len(indices) and int(indices.max()) >= self._len:
+            raise IndexError(
+                f"fill_power index {int(indices.max())} beyond recorded "
+                f"length {self._len}"
+            )
+        self._power[indices] = system_mw
+        self._cpu_power[0, indices] = little_mw
+        self._cpu_power[1, indices] = big_mw
 
     def finalize(self) -> None:
         if not self._finalized:
@@ -109,6 +141,12 @@ class Trace:
         scheduler are still converging from their cold-start state —
         the paper likewise characterizes applications in use, not
         app-launch cold starts.
+
+        The returned trace is an **aliasing view**, not a copy: its
+        arrays are NumPy slices of this trace's arrays, so later
+        mutation of the parent (including the deferred power flush) is
+        visible through the view, and the view costs O(1) memory.  Call
+        it only on finalized traces if independence matters.
         """
         if warmup_s < 0:
             raise ValueError(f"warmup_s must be non-negative, got {warmup_s}")

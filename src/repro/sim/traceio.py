@@ -5,13 +5,15 @@ them lets expensive runs be archived, diffed across code versions, and
 analyzed offline (all of :mod:`repro.core` works on loaded traces).
 
 Format: a single ``.npz`` file holding the busy/frequency/power arrays
-plus a small JSON-encoded header with core metadata.
+plus a small JSON-encoded header with core metadata.  Paths may be
+``str`` or any :class:`os.PathLike`.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from typing import Union
 
 import numpy as np
 
@@ -20,9 +22,12 @@ from repro.sim.trace import Trace
 
 FORMAT_VERSION = 2  # v2 added per-cluster CPU power and wakeup counts
 
+PathArg = Union[str, "os.PathLike[str]"]
 
-def save_trace(trace: Trace, path: str) -> None:
+
+def save_trace(trace: Trace, path: PathArg) -> None:
     """Write ``trace`` to ``path`` (``.npz``)."""
+    path = os.fspath(path)
     header = {
         "version": FORMAT_VERSION,
         "core_types": [t.value for t in trace.core_types],
@@ -48,9 +53,22 @@ def save_trace(trace: Trace, path: str) -> None:
     )
 
 
-def load_trace(path: str) -> Trace:
-    """Load a trace previously written by :func:`save_trace`."""
+def load_trace(path: PathArg) -> Trace:
+    """Load a trace previously written by :func:`save_trace`.
+
+    Raises :class:`ValueError` on format-version mismatch, on a missing
+    array, or when the arrays disagree on tick count or core count —
+    a truncated or hand-edited file fails loudly here instead of
+    producing shifted analyses downstream.
+    """
+    path = os.fspath(path)
     with np.load(path) as data:
+        required = ("header", "busy", "freq", "power", "cpu_power", "wakeups")
+        missing = [k for k in required if k not in data]
+        if missing:
+            raise ValueError(
+                f"corrupt trace file {path}: missing arrays {', '.join(missing)}"
+            )
         header = json.loads(bytes(data["header"].tobytes()).decode())
         if header.get("version") != FORMAT_VERSION:
             raise ValueError(
@@ -63,7 +81,25 @@ def load_trace(path: str) -> Trace:
         wakeups = np.array(data["wakeups"], dtype=np.int16)
 
     core_types = [CoreType(v) for v in header["core_types"]]
+    if busy.ndim != 2 or busy.shape[0] != len(core_types):
+        raise ValueError(
+            f"corrupt trace file {path}: busy has shape {busy.shape} but the "
+            f"header names {len(core_types)} cores"
+        )
     n_ticks = busy.shape[1]
+    lengths = {
+        "freq": freq.shape[1] if freq.ndim == 2 else -1,
+        "power": power.shape[0] if power.ndim == 1 else -1,
+        "cpu_power": cpu_power.shape[1] if cpu_power.ndim == 2 else -1,
+        "wakeups": wakeups.shape[0] if wakeups.ndim == 1 else -1,
+    }
+    bad = {k: v for k, v in lengths.items() if v != n_ticks}
+    if bad:
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(bad.items()))
+        raise ValueError(
+            f"corrupt trace file {path}: busy records {n_ticks} ticks but "
+            f"{detail} (tick counts must match across all arrays)"
+        )
     trace = Trace(core_types, list(header["enabled"]), max_ticks=max(1, n_ticks))
     trace._busy[:, :n_ticks] = busy
     trace._freq[:, :n_ticks] = freq

@@ -1,12 +1,16 @@
-"""Golden-trace equivalence tests for the idle fast-forward engine.
+"""Golden-trace equivalence tests for the engine fast paths.
 
-The fast path must be *bit-exact* with the reference tick-by-tick loop:
-for every workload/config/seed combination the busy, frequency, power,
-per-cluster CPU power, and wakeup trace columns are compared with
-``np.array_equal`` (no tolerance).  Configurations that the fast path
-must refuse (thermal model, GPU, cluster-switching scheduler, env/config
-pins) are additionally checked to have fast-forwarded zero ticks.
+The fast paths (idle fast-forward, busy steady-state fast-forward, and
+the deferred vectorized power pipeline) must be *bit-exact* with the
+reference tick-by-tick loop: for every workload/config/seed combination
+the busy, frequency, power, per-cluster CPU power, and wakeup trace
+columns are compared with ``np.array_equal`` (no tolerance).
+Configurations that the fast path must refuse (thermal model, GPU,
+cluster-switching scheduler, env/config pins) are additionally checked
+to have fast-forwarded zero ticks.
 """
+
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -23,6 +27,7 @@ from repro.sched.governor import (
     PerformanceGovernor,
     PowersaveGovernor,
 )
+from repro.sched.params import baseline_config
 from repro.sim.engine import SimConfig, Simulator
 from repro.sim.task import Sleep, Task, WaitSignal, Work
 from repro.workloads.mobile import make_app
@@ -137,6 +142,259 @@ class TestGoldenTraceEquivalence:
             return order
 
         assert run(False) == run(True) == ["a", "b", "c", "d"]
+
+
+def spec_behavior(ctx):
+    """Pure compute, never sleeps — the busy steady-state showcase."""
+    while True:
+        yield Work(10.0)
+
+
+def _install_spec(count):
+    def install(sim):
+        tasks = []
+        for i in range(count):
+            task = Task(f"spec-{i}", spec_behavior, COMPUTE_BOUND)
+            tasks.append(task)
+            sim.spawn(task)
+        sim._test_tasks = tasks
+    return install
+
+
+class TestBusyFastForward:
+    """Busy steady-state spans replay bit-exactly."""
+
+    @pytest.mark.parametrize("count,seed", [(1, 0), (4, 1), (4, 7), (10, 3)])
+    def test_spec_compute_traces_match(self, count, seed):
+        ref, fast = run_pair(
+            lambda: SimConfig(max_seconds=3.0, seed=seed), _install_spec(count)
+        )
+        assert_traces_equal(ref, fast)
+        assert fast.busy_fastpath_enabled
+        # After governor convergence the whole run is steady-state.
+        assert fast.busy_fastforward_ticks > 0.5 * fast.max_ticks
+        assert fast.busy_fastforward_spans > 0
+
+    def test_task_state_matches_after_busy_spans(self):
+        ref, fast = run_pair(
+            lambda: SimConfig(max_seconds=3.0, seed=2), _install_spec(4)
+        )
+        for t_ref, t_fast in zip(ref._test_tasks, fast._test_tasks):
+            assert t_ref.total_busy_s == t_fast.total_busy_s
+            assert t_ref.remaining_units == t_fast.remaining_units
+            assert t_ref.load.value == t_fast.load.value
+            assert t_ref.migrations == t_fast.migrations
+            assert t_ref.core_id == t_fast.core_id
+
+    def test_wakeup_exactly_at_horizon(self):
+        """A sleeper due mid-run bounds the span; its wake tick, load
+        decay, and placement must be untouched by the replay."""
+
+        def sleeper(ctx):
+            while True:
+                yield Sleep(1.0)
+                yield Work(0.001)
+
+        def install(sim):
+            _install_spec(4)(sim)
+            sim.spawn(Task("sleeper", sleeper, COMPUTE_BOUND))
+
+        ref, fast = run_pair(lambda: SimConfig(max_seconds=4.0, seed=5), install)
+        assert_traces_equal(ref, fast)
+        assert fast.busy_fastforward_ticks > 0
+
+    def test_migration_threshold_crossing_cuts_span(self):
+        """A single ramping task crosses the up-migration threshold; the
+        span must end at the crossing so the migration fires on time."""
+        ref, fast = run_pair(
+            lambda: SimConfig(max_seconds=2.0, seed=0), _install_spec(1)
+        )
+        assert_traces_equal(ref, fast)
+        t_ref, t_fast = ref._test_tasks[0], fast._test_tasks[0]
+        assert t_ref.migrations == t_fast.migrations
+        assert t_ref.core_id == t_fast.core_id
+
+    def test_input_boost_inside_span(self):
+        """A touch event mid-run perturbs the governor; spans on either
+        side must still replay bit-exactly."""
+
+        def toucher(ctx):
+            yield Sleep(0.9)
+            ctx.notify_input()
+            yield Work(0.001)
+            yield Sleep(10.0)
+
+        def install(sim):
+            _install_spec(4)(sim)
+            sim.spawn(Task("toucher", toucher, COMPUTE_BOUND))
+
+        base = baseline_config()
+        boosted = replace(base, governor=replace(base.governor, input_boost_ms=100))
+        ref, fast = run_pair(
+            lambda: SimConfig(max_seconds=3.0, seed=4, scheduler=boosted), install
+        )
+        assert_traces_equal(ref, fast)
+        assert fast.busy_fastforward_ticks > 0
+
+    def test_restricted_core_config_matches(self):
+        ref, fast = run_pair(
+            lambda: SimConfig(
+                max_seconds=2.0, seed=6,
+                core_config=CoreConfig(little=2, big=1),
+            ),
+            _install_spec(3),
+        )
+        assert_traces_equal(ref, fast)
+
+    def test_pinned_governors_fast_forward(self):
+        def make_config():
+            return SimConfig(
+                max_seconds=2.0, seed=1,
+                governors={
+                    CoreType.LITTLE: PowersaveGovernor(),
+                    CoreType.BIG: PerformanceGovernor(),
+                },
+            )
+
+        ref, fast = run_pair(make_config, _install_spec(4))
+        assert_traces_equal(ref, fast)
+        assert fast.busy_fastforward_ticks > 0
+
+    def test_governor_without_span_support_disables_busy_ff(self):
+        """Ondemand has no ``busy_tick_span`` override: the busy fast
+        path must refuse statically, and traces still match."""
+
+        def make_config():
+            return SimConfig(
+                max_seconds=2.0, seed=1,
+                governors={
+                    CoreType.LITTLE: OndemandGovernor(),
+                    CoreType.BIG: OndemandGovernor(),
+                },
+            )
+
+        ref, fast = run_pair(make_config, _install_spec(4))
+        assert not fast.busy_fastpath_enabled
+        assert fast.busy_fastforward_ticks == 0
+        assert_traces_equal(ref, fast)
+
+
+class TestDeferredPower:
+    """The deferred vectorized power pipeline is bit-exact and gated."""
+
+    def test_enabled_on_default_fast_config(self):
+        ref, fast = run_pair(
+            lambda: SimConfig(max_seconds=2.0, seed=1), _install_spec(2)
+        )
+        assert fast.deferred_power_enabled
+        assert not ref.deferred_power_enabled  # fastpath=False keeps per-tick
+        assert_traces_equal(ref, fast)
+
+    def test_thermal_keeps_per_tick_power(self):
+        """Thermal feedback reads power each tick, so deferral is off
+        (and traces still match via the classic path)."""
+        ref, fast = run_pair(
+            lambda: SimConfig(max_seconds=2.0, seed=1, thermal=ThermalParams()),
+            _install_spec(2),
+        )
+        assert not fast.deferred_power_enabled
+        assert_traces_equal(ref, fast)
+
+    def test_gpu_keeps_per_tick_power(self):
+        ref, fast = run_pair(
+            lambda: SimConfig(max_seconds=2.0, seed=1, gpu=GpuSpec()),
+            _install_spec(2),
+        )
+        assert not fast.deferred_power_enabled
+        assert_traces_equal(ref, fast)
+
+    def test_tick_hook_keeps_per_tick_power(self):
+        """A tick hook may read trace power live, so the pipeline is not
+        instantiated — and power must still be bit-exact per tick."""
+
+        def run(fastpath, hook):
+            sim = Simulator(SimConfig(max_seconds=2.0, seed=1, fastpath=fastpath))
+            _install_spec(2)(sim)
+            if hook:
+                sim.add_tick_hook(lambda s: None)
+            sim.run()
+            return sim
+
+        ref = run(False, hook=False)
+        fast = run(True, hook=True)
+        assert fast._deferred is None
+        assert_traces_equal(ref, fast)
+
+    def test_env_var_disables_deferred_power(self, monkeypatch):
+        """``REPRO_ENGINE_FASTPATH=0`` pins the whole reference pipeline,
+        including per-tick power."""
+        monkeypatch.setenv("REPRO_ENGINE_FASTPATH", "0")
+        sim = Simulator(SimConfig(max_seconds=2.0, seed=1, fastpath=True))
+        _install_spec(2)(sim)
+        sim.run()
+        assert not sim.deferred_power_enabled
+        assert sim._deferred is None
+
+
+class TestObservedEquivalence:
+    """Observation sees identical streams modulo fast-forward markers."""
+
+    @staticmethod
+    def _run_observed(fastpath):
+        from repro.obs import Observation
+
+        sim = Simulator(SimConfig(max_seconds=2.5, seed=3, fastpath=fastpath))
+        obs = Observation.attach(sim)
+
+        def sleeper(ctx):
+            while True:
+                yield Sleep(0.4)
+                yield Work(0.002)
+
+        _install_spec(4)(sim)
+        sim.spawn(Task("sleeper", sleeper, COMPUTE_BOUND))
+        sim.run()
+        return sim, obs
+
+    def test_event_streams_match_modulo_ff_markers(self):
+        from repro.obs import event_to_dict
+
+        _ref_sim, ref_obs = self._run_observed(False)
+        fast_sim, fast_obs = self._run_observed(True)
+        assert fast_sim.busy_fastforward_ticks > 0
+
+        skip = {"IdleFastForward", "BusyFastForward"}
+
+        def stream(obs):
+            # tids come from a process-global counter, so the two runs
+            # number their tasks differently; names are the identity.
+            events = []
+            for e in obs.events:
+                if type(e).__name__ in skip:
+                    continue
+                d = event_to_dict(e)
+                d.pop("tid", None)
+                events.append(d)
+            return events
+
+        assert stream(ref_obs) == stream(fast_obs)
+
+    def test_metrics_match_modulo_ff_counters(self):
+        _ref_sim, ref_obs = self._run_observed(False)
+        _fast_sim, fast_obs = self._run_observed(True)
+
+        def scrub(value):
+            if isinstance(value, dict):
+                return {
+                    k: scrub(v)
+                    for k, v in value.items()
+                    if "fastforward" not in str(k)
+                }
+            return value
+
+        assert scrub(ref_obs.snapshot().to_dict()) == scrub(
+            fast_obs.snapshot().to_dict()
+        )
 
 
 class TestFastpathRefusal:

@@ -91,3 +91,57 @@ class TestLoadTracker:
         for _ in range(1000):
             tracker.update(LOAD_SCALE)
         assert tracker.value <= LOAD_SCALE
+
+
+class TestAdvance:
+    """``advance`` is the fast-forward twin of repeated ``update``."""
+
+    @pytest.mark.parametrize("sample", [0.0, 137.5, 700.0, float(LOAD_SCALE)])
+    @pytest.mark.parametrize("ticks", [1, 33, 257])
+    def test_bit_exact_vs_repeated_update(self, sample, ticks):
+        a = LoadTracker(halflife_ms=32, initial=413.0)
+        b = LoadTracker(halflife_ms=32, initial=413.0)
+        for _ in range(ticks):
+            a.update(sample)
+        b.advance(sample, ticks)
+        assert a.value == b.value  # exact, no tolerance
+
+    def test_zero_ticks_is_identity(self):
+        t = LoadTracker(halflife_ms=32, initial=512.0)
+        assert t.advance(700.0, 0) == 512.0
+
+    def test_rejects_bad_arguments(self):
+        t = LoadTracker(halflife_ms=32)
+        with pytest.raises(ValueError):
+            t.advance(-1.0, 5)
+        with pytest.raises(ValueError):
+            t.advance(float(LOAD_SCALE) + 1, 5)
+        with pytest.raises(ValueError):
+            t.advance(100.0, -1)
+
+
+class TestDecayDrift:
+    """``decay(n)`` uses the closed-form power; bound its drift against
+    the iterative ``update(0)`` ladder it stands in for."""
+
+    @pytest.mark.parametrize("ticks", [1, 32, 1000, 60_000])
+    def test_drift_within_float_noise(self, ticks):
+        iterative = LoadTracker(halflife_ms=32, initial=1000.0)
+        closed = LoadTracker(halflife_ms=32, initial=1000.0)
+        for _ in range(ticks):
+            iterative.update(0.0)
+        closed.decay(ticks)
+        # Each iterative step rounds once (~half an ulp), so the paths
+        # diverge by at most ~ticks ulps relative — far below any
+        # scheduler threshold granularity.
+        if iterative.value > 0.0:
+            assert closed.value == pytest.approx(iterative.value, rel=1e-10)
+        else:
+            assert closed.value <= 5e-324 * 10  # both underflowed to ~0
+
+    def test_single_tick_decay_is_exact(self):
+        a = LoadTracker(halflife_ms=32, initial=777.0)
+        b = LoadTracker(halflife_ms=32, initial=777.0)
+        a.update(0.0)
+        b.decay(1)
+        assert a.value == b.value

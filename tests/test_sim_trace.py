@@ -111,3 +111,62 @@ class TestTrimmed:
     def test_trim_zero_is_identity(self):
         trace = make_trace(20)
         assert len(trace.trimmed(0.0)) == 20
+
+
+class TestTrimmedAliasing:
+    """``trimmed()`` is documented as an aliasing view, not a copy."""
+
+    def test_view_shares_parent_storage(self):
+        trace = make_trace(100)
+        view = trace.trimmed(0.02)
+        assert np.shares_memory(view.busy, trace.busy)
+        assert np.shares_memory(view.power_mw, trace.power_mw)
+        assert np.shares_memory(view.wakeups, trace.wakeups)
+
+    def test_parent_mutation_is_visible_through_view(self):
+        trace = make_trace(100)
+        view = trace.trimmed(0.02)  # skips 20 ticks
+        idx = np.asarray([50], dtype=np.intp)
+        trace.fill_power(idx, np.asarray([9999.0]), np.asarray([1.0]),
+                         np.asarray([2.0]))
+        assert view.power_mw[30] == np.float32(9999.0)
+
+    def test_view_is_finalized_and_costs_no_copy(self):
+        trace = make_trace(100)
+        view = trace.trimmed(0.05)
+        assert view._finalized
+        assert len(view) == 50
+        assert view.busy.base is not None  # a slice, not an owner
+
+
+class TestFillPower:
+    """Deferred-power backfill matches the per-tick recording cast."""
+
+    def test_matches_record_float32_cast(self):
+        value = 123.456789  # not exactly representable in float32
+        a = Trace(TYPES, ENABLED, max_ticks=4)
+        a.record([0.0] * 4, 600_000, 800_000, value,
+                 little_cpu_mw=value / 3, big_cpu_mw=value / 7)
+        a.finalize()
+        b = Trace(TYPES, ENABLED, max_ticks=4)
+        b.record([0.0] * 4, 600_000, 800_000, 0.0)
+        b.fill_power(np.asarray([0], dtype=np.intp), np.asarray([value]),
+                     np.asarray([value / 3]), np.asarray([value / 7]))
+        b.finalize()
+        assert np.array_equal(a.power_mw, b.power_mw)
+        for ct in (CoreType.LITTLE, CoreType.BIG):
+            assert np.array_equal(a.cpu_power_mw(ct), b.cpu_power_mw(ct))
+
+    def test_rejects_unrecorded_index(self):
+        trace = Trace(TYPES, ENABLED, max_ticks=10)
+        trace.record([0.0] * 4, 600_000, 800_000, 0.0)
+        with pytest.raises(IndexError, match="beyond recorded length"):
+            trace.fill_power(np.asarray([5], dtype=np.intp),
+                             np.asarray([1.0]), np.asarray([0.0]),
+                             np.asarray([0.0]))
+
+    def test_empty_indices_is_noop(self):
+        trace = make_trace(10)
+        empty = np.asarray([], dtype=np.intp)
+        trace.fill_power(empty, empty.astype(np.float64),
+                         empty.astype(np.float64), empty.astype(np.float64))

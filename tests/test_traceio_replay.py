@@ -116,3 +116,56 @@ class TestReplayExecution:
         app = LoadTraceApp("r", {"a": [(1.0, 0.5)], "b": [(2.5, 0.1)]})
         assert app.total_duration_s() == pytest.approx(2.5)
         assert app.total_work_units() == pytest.approx(0.75)
+
+
+class TestTraceIOValidation:
+    """PathLike acceptance and corrupt-file detection."""
+
+    @staticmethod
+    def _small_trace():
+        from repro.sim.trace import Trace
+
+        trace = Trace([CoreType.LITTLE, CoreType.BIG], [True, True], 8)
+        for i in range(5):
+            trace.record([0.5, 0.25], 1_000_000, 2_000_000, 100.0 + i,
+                         wakeups=1, little_cpu_mw=10.0, big_cpu_mw=20.0)
+        trace.finalize()
+        return trace
+
+    def test_accepts_pathlike(self, tmp_path):
+        trace = self._small_trace()
+        path = tmp_path / "tr.npz"  # pathlib.Path, not str
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(loaded.busy, trace.busy)
+        assert len(loaded) == 5
+
+    def test_truncated_array_rejected(self, tmp_path):
+        trace = self._small_trace()
+        path = tmp_path / "tr.npz"
+        save_trace(trace, path)
+        data = dict(np.load(path))
+        data["power"] = data["power"][:3]
+        np.savez_compressed(str(path), **data)
+        with pytest.raises(ValueError, match="power=3"):
+            load_trace(path)
+
+    def test_missing_array_rejected(self, tmp_path):
+        trace = self._small_trace()
+        path = tmp_path / "tr.npz"
+        save_trace(trace, path)
+        data = dict(np.load(path))
+        del data["wakeups"]
+        np.savez_compressed(str(path), **data)
+        with pytest.raises(ValueError, match="missing arrays wakeups"):
+            load_trace(path)
+
+    def test_core_count_mismatch_rejected(self, tmp_path):
+        trace = self._small_trace()
+        path = tmp_path / "tr.npz"
+        save_trace(trace, path)
+        data = dict(np.load(path))
+        data["busy"] = data["busy"][:1]  # one core, header says two
+        np.savez_compressed(str(path), **data)
+        with pytest.raises(ValueError, match="header names 2 cores"):
+            load_trace(path)
