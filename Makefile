@@ -1,6 +1,6 @@
 # Convenience targets for the biglittle-repro repository.
 
-.PHONY: install test bench bench-quick artifacts calibrate examples clean
+.PHONY: install test bench bench-quick check-cache-budget artifacts calibrate examples clean
 
 install:
 	pip install -e .
@@ -11,9 +11,14 @@ test:
 bench:
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
 
-# Fast-path vs reference engine comparison; writes BENCH_engine.json.
+# Fast-path vs reference engine comparison plus the batch-transport
+# result-pipeline scenario; writes BENCH_engine.json.
 bench-quick:
 	PYTHONPATH=src python scripts/bench_engine.py --quick --compare BENCH_engine.json --out BENCH_engine.json
+
+# Blocking CI gate: cached trace.npz / trace.rle entries stay in budget.
+check-cache-budget:
+	PYTHONPATH=src python scripts/check_cache_budget.py
 
 # Regenerate every paper table/figure into results/.
 artifacts:

@@ -20,6 +20,10 @@ Scenario families:
   the run doubles as a guard that eligibility probing never slows the
   hot loop.  ``spec-compute-long`` runs the same workload several times
   longer so steady-state spans dominate setup/convergence cost.
+- *batch-transport*: a 16-job grid through ``BatchRunner`` under the
+  three trace policies (``full`` / ``rle`` / ``none``), measuring the
+  result pipeline itself — worker→parent bytes, cache footprint, warm
+  reload, peak worker RSS — rather than the tick engine.
 
 ``--compare OLD.json`` prints per-scenario deltas against a previously
 written results file (CI runs it against the committed
@@ -36,7 +40,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import pickle
+import resource
 import sys
+import tempfile
+import time
 
 from repro.obs.logsetup import add_verbosity_args, get_logger, setup_from_args
 from repro.obs.timing import PhaseTimer
@@ -134,6 +142,117 @@ def bench(quick: bool, seed: int, repeats: int):
     return rows
 
 
+# ---------------------------------------------------------------------------
+# batch-transport scenario: the result pipeline under the three policies
+# ---------------------------------------------------------------------------
+
+#: Reductions every policy must end up providing to the parent.
+_TRANSPORT_REDUCTIONS = (
+    "tlp", "tlp_matrix", "residency", "efficiency", "power_summary",
+)
+_TRANSPORT_JOBS = 16
+_TRANSPORT_WORKERS = 4
+_IDLE_HEAVY_KIND = "repro.runner.benchkinds:run_idle_heavy"
+
+
+def _transport_specs(policy: str, sim_seconds: float):
+    from repro.runner import RunSpec
+
+    # The "full" policy models the historical pipeline: dense traces
+    # return and the parent computes the analyses itself.  "rle" and
+    # "none" reduce at the source.
+    reductions = () if policy == "full" else _TRANSPORT_REDUCTIONS
+    return [
+        RunSpec(
+            "idle-heavy", kind=_IDLE_HEAVY_KIND, seed=seed,
+            max_seconds=sim_seconds, trace_policy=policy,
+            reductions=reductions,
+        )
+        for seed in range(_TRANSPORT_JOBS)
+    ]
+
+
+def _consume_results(policy: str, results) -> None:
+    """Make every reduction value available in the parent, per policy."""
+    if policy == "full":
+        from repro.core.reductions import compute_reductions
+        from repro.runner.spec import resolve_chip
+
+        for run in results:
+            compute_reductions(
+                _TRANSPORT_REDUCTIONS, run.trace,
+                resolve_chip("exynos5422-screen"), run.scalars(),
+            )
+    else:
+        for run in results:
+            for name in _TRANSPORT_REDUCTIONS:
+                run.reduction(name)
+
+
+def bench_batch_transport(quick: bool, sim_seconds: float | None = None):
+    """Time a 16-job batch under the full / rle / none trace policies.
+
+    Each policy runs the same idle-heavy grid (cheap to simulate, a few
+    dense megabytes of trace per job) through a 4-worker pool with a
+    fresh cache, then a second, fully-cached pass.  Both passes end with
+    every reduction value available in the parent, so the comparison is
+    end-to-end: *full* pays dense transport + dense storage +
+    parent-side analysis; *rle*/*none* reduce in-worker and ship
+    (almost) nothing.  ``peak_worker_rss_kb`` is ``ru_maxrss`` of dead
+    children, which is **cumulative** across policies — hence the
+    smallest-footprint-first policy order.
+    """
+    from repro.runner import BatchRunner, ResultCache
+
+    if sim_seconds is None:
+        sim_seconds = 120.0 if quick else 480.0
+    policies = {}
+    for policy in ("none", "rle", "full"):
+        specs = _transport_specs(policy, sim_seconds)
+        with tempfile.TemporaryDirectory(prefix="bench-transport-") as root:
+            cache = ResultCache(root=root)
+            t0 = time.monotonic()
+            report = BatchRunner(workers=_TRANSPORT_WORKERS, cache=cache).run(specs)
+            report.raise_on_failure()
+            _consume_results(policy, report.results)
+            cold_s = time.monotonic() - t0
+            result_pickle_bytes = sum(
+                len(pickle.dumps(r)) for r in report.results
+            )
+            t0 = time.monotonic()
+            warm_report = BatchRunner(
+                workers=_TRANSPORT_WORKERS, cache=cache
+            ).run(specs)
+            warm_report.raise_on_failure()
+            _consume_results(policy, warm_report.results)
+            warm_s = time.monotonic() - t0
+            policies[policy] = {
+                "cold_wall_s": cold_s,
+                "warm_wall_s": warm_s,
+                "cache_hits_warm": warm_report.cache_hits,
+                "transport_bytes": report.transport_bytes,
+                "shm_bytes": report.shm_bytes,
+                "result_pickle_bytes": result_pickle_bytes,
+                "cache_bytes_written": cache.stats.bytes_written,
+                "peak_worker_rss_kb": resource.getrusage(
+                    resource.RUSAGE_CHILDREN
+                ).ru_maxrss,
+            }
+    full = policies["full"]
+    for name, row in policies.items():
+        row["speedup_vs_full"] = full["cold_wall_s"] / row["cold_wall_s"]
+        row["bytes_reduction_vs_full"] = (
+            full["result_pickle_bytes"] / max(1, row["result_pickle_bytes"])
+        )
+    return {
+        "n_jobs": _TRANSPORT_JOBS,
+        "workers": _TRANSPORT_WORKERS,
+        "sim_seconds": sim_seconds,
+        "reductions": list(_TRANSPORT_REDUCTIONS),
+        "policies": policies,
+    }
+
+
 def compare(rows, baseline_path: str) -> None:
     """Print per-scenario deltas against a previous results JSON.
 
@@ -204,6 +323,22 @@ def main(argv=None) -> int:
     print(f"\nbest: {best['scenario']} {best['speedup']:.2f}x; "
           f"worst: {worst['scenario']} {worst['speedup']:.2f}x")
 
+    transport = bench_batch_transport(args.quick)
+    t_header = (f"{'policy':<8} {'cold s':>8} {'warm s':>8} {'vs full':>8} "
+                f"{'shipped MB':>11} {'bytes red.':>11} {'rss MB':>8}")
+    print(f"\nbatch-transport ({transport['n_jobs']} jobs x "
+          f"{transport['sim_seconds']:.0f}s sim, "
+          f"{transport['workers']} workers):")
+    print(t_header)
+    print("-" * len(t_header))
+    for name in ("full", "rle", "none"):
+        row = transport["policies"][name]
+        print(f"{name:<8} {row['cold_wall_s']:>8.2f} {row['warm_wall_s']:>8.2f} "
+              f"{row['speedup_vs_full']:>7.2f}x "
+              f"{row['result_pickle_bytes'] / 1e6:>11.2f} "
+              f"{row['bytes_reduction_vs_full']:>10.0f}x "
+              f"{row['peak_worker_rss_kb'] / 1024:>8.0f}")
+
     if args.compare:
         compare(rows, args.compare)
 
@@ -213,6 +348,7 @@ def main(argv=None) -> int:
             "seed": args.seed,
             "repeats": args.repeats,
             "scenarios": rows,
+            "batch_transport": transport,
             "best_speedup": best["speedup"],
             "worst_speedup": worst["speedup"],
         }

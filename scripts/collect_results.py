@@ -2,20 +2,25 @@
 
 Run: python scripts/collect_results.py [--workers N] [--cache-dir DIR] [--no-cache]
 
-The multi-run sweeps (fig07/08, fig11-13) route through
-``repro.runner.BatchRunner``: independent simulations shard across
-``--workers`` processes and completed runs persist in the result cache,
-so a re-collection after an interrupted or repeated run executes only
-the missing simulations.
+Every multi-run artifact (Tables III/IV/V, Figures 7-13) routes through
+one shared ``repro.runner.BatchRunner`` + ``ResultCache``: independent
+simulations shard across ``--workers`` processes, results are reduced
+*inside* the workers (``RunSpec.reductions``; the sweeps ship no traces
+at all, ``trace_policy="none"``), and completed runs persist in the
+cache.  The study artifacts (table3_4, fig09_10, table5) declare the
+same spec, so the cache collapses them to a single simulation per app;
+a re-collection after an interrupted run executes only what's missing.
+``--no-cache`` still shares results *within* the invocation through an
+ephemeral temporary cache, but reads/writes nothing persistent.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import tempfile
 import time
 
-from repro.core.study import CharacterizationStudy
 from repro.experiments.fig02_03_spec import run_spec_comparison
 from repro.experiments.fig04_05_corecompare import (
     run_fps_comparison,
@@ -28,6 +33,7 @@ from repro.experiments.fig11_12_13_params import run_param_sweep
 from repro.experiments.table3_4_tlp import run_tlp_tables
 from repro.experiments.table5_efficiency import run_efficiency_table
 from repro.obs.logsetup import add_verbosity_args, get_logger, setup_from_args
+from repro.obs.metrics import global_metrics
 from repro.platform.chip import exynos5422
 from repro.runner import BatchRunner, ResultCache
 
@@ -49,36 +55,51 @@ def main(argv: list[str] | None = None) -> None:
     )
     parser.add_argument(
         "--no-cache", action="store_true",
-        help="always re-simulate, ignoring and not writing the result cache",
+        help="always re-simulate; results are shared within this run only",
     )
     add_verbosity_args(parser)
     args = parser.parse_args(argv)
     setup_from_args(args)
 
-    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
-    runner = BatchRunner(workers=args.workers, cache=cache)
+    with tempfile.TemporaryDirectory(prefix="repro-collect-") as scratch:
+        # Even a --no-cache run wants *one* cache for the invocation:
+        # table3_4/fig09_10/table5 share specs, so an ephemeral cache
+        # still collapses them to one simulation per app.
+        cache_root = scratch if args.no_cache else args.cache_dir
+        cache = ResultCache(root=cache_root)
+        runner = BatchRunner(workers=args.workers, cache=cache)
 
-    os.makedirs(OUT, exist_ok=True)
-    study = CharacterizationStudy(seed=SEED)
-    chip_on = exynos5422(screen_on=True)
-    artifacts = [
-        ("fig02_03", lambda: run_spec_comparison(seed=SEED)),
-        ("fig04", lambda: run_latency_comparison(chip=chip_on, seed=SEED)),
-        ("fig05", lambda: run_fps_comparison(chip=chip_on, seed=SEED)),
-        ("fig06", lambda: run_util_power(seed=SEED)),
-        ("table3_4", lambda: run_tlp_tables(study=study)),
-        ("fig09_10", lambda: run_frequency_residency(study=study)),
-        ("table5", lambda: run_efficiency_table(study=study)),
-        ("fig07_08", lambda: run_core_config_sweep(seed=SEED, runner=runner)),
-        ("fig11_13", lambda: run_param_sweep(seed=SEED, runner=runner)),
-    ]
-    for name, artifact_runner in artifacts:
-        t0 = time.time()
-        result = artifact_runner()
-        path = os.path.join(OUT, f"{name}.txt")
-        with open(path, "w") as f:
-            f.write(result.render() + "\n")
-        log.info("%s: written in %.1fs -> %s", name, time.time() - t0, path)
+        os.makedirs(OUT, exist_ok=True)
+        chip_on = exynos5422(screen_on=True)
+        artifacts = [
+            ("fig02_03", lambda: run_spec_comparison(seed=SEED)),
+            ("fig04", lambda: run_latency_comparison(chip=chip_on, seed=SEED)),
+            ("fig05", lambda: run_fps_comparison(chip=chip_on, seed=SEED)),
+            ("fig06", lambda: run_util_power(seed=SEED)),
+            ("table3_4", lambda: run_tlp_tables(seed=SEED, runner=runner)),
+            ("fig09_10", lambda: run_frequency_residency(seed=SEED, runner=runner)),
+            ("table5", lambda: run_efficiency_table(seed=SEED, runner=runner)),
+            ("fig07_08", lambda: run_core_config_sweep(seed=SEED, runner=runner)),
+            ("fig11_13", lambda: run_param_sweep(seed=SEED, runner=runner)),
+        ]
+        for name, artifact_runner in artifacts:
+            t0 = time.time()
+            result = artifact_runner()
+            path = os.path.join(OUT, f"{name}.txt")
+            with open(path, "w") as f:
+                f.write(result.render() + "\n")
+            log.info("%s: written in %.1fs -> %s", name, time.time() - t0, path)
+
+        snap = global_metrics().snapshot()
+        log.info("result cache: %s", cache.stats.summary())
+        log.info(
+            "transport: %d results, %.2f MB over the pool, "
+            "%d lazy inflations (%.2f MB)",
+            snap.counter("runner.transport.results"),
+            snap.counter("runner.transport.bytes") / 1e6,
+            snap.counter("trace.rle.inflations"),
+            snap.counter("trace.rle.inflated_bytes") / 1e6,
+        )
 
 
 if __name__ == "__main__":

@@ -13,11 +13,23 @@ analysis the paper reports:
   efficiency decomposition (Table V);
 - :mod:`repro.core.study` — a high-level API that runs an application
   under a configuration and returns all of the above;
+- :mod:`repro.core.reductions` — the registry of named in-worker
+  reductions behind ``RunSpec.reductions`` (ship summaries, not
+  traces);
 - :mod:`repro.core.report` — ASCII rendering of tables and figures.
 """
 
 from repro.core.tlp import TLPStats, tlp_stats
 from repro.core.tlp_matrix import tlp_matrix
+from repro.core.reductions import (
+    Reduction,
+    ReductionContext,
+    compute_reductions,
+    decode_reduction,
+    get_reduction,
+    register_reduction,
+    registered_reductions,
+)
 from repro.core.residency import frequency_residency
 from repro.core.efficiency import EfficiencyBreakdown, efficiency_breakdown
 from repro.core.energy import EnergyMetrics, compare_energy, energy_metrics
@@ -38,14 +50,21 @@ __all__ = [
     "IdlenessProfile",
     "LatencyDistribution",
     "PowerBreakdown",
+    "Reduction",
+    "ReductionContext",
     "TLPStats",
     "TaskStats",
     "TaskStatsCollector",
     "app_report",
     "compare_energy",
+    "compute_reductions",
+    "decode_reduction",
     "efficiency_breakdown",
     "energy_metrics",
     "frequency_residency",
+    "get_reduction",
+    "register_reduction",
+    "registered_reductions",
     "idleness_profile",
     "latency_distribution",
     "power_breakdown",

@@ -62,6 +62,33 @@ def run_spec_kernel(
     return trace.duration_s, trace.average_power_mw(), trace
 
 
+#: Chip id of the default characterization platform (screen on).
+STUDY_CHIP_ID = "exynos5422-screen"
+
+#: The reduction set shared by every runner-backed study artifact
+#: (Tables III/IV/V, Figures 9/10).  Declaring the same set — and
+#: ``trace_policy="none"`` — keeps the spec key identical across those
+#: artifacts, so a shared :class:`~repro.runner.cache.ResultCache`
+#: collapses them to **one** simulation per app.
+STUDY_REDUCTIONS = ("tlp", "tlp_matrix", "residency", "efficiency", "power_summary")
+
+
+def study_specs(apps: list[str], seed: int = 0) -> list["RunSpec"]:
+    """Default-configuration specs carrying the shared study reductions."""
+    from repro.runner.spec import RunSpec
+
+    return [
+        RunSpec(
+            app,
+            chip=STUDY_CHIP_ID,
+            seed=seed,
+            reductions=STUDY_REDUCTIONS,
+            trace_policy="none",
+        )
+        for app in apps
+    ]
+
+
 def relative_change_pct(new: float, base: float) -> float:
     """Percentage change of ``new`` relative to ``base``."""
     if base == 0:

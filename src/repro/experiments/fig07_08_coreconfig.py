@@ -72,10 +72,15 @@ def coreconfig_specs(
     chip = chip if chip is not None else "exynos5422"
     labels = configs or CORE_CONFIG_LABELS
     specs = []
+    # The sweep reads only scalar metrics, so nothing but a few hundred
+    # bytes needs to come back from each worker.
     for app_name in apps or MOBILE_APP_NAMES:
         for label in [BASELINE_LABEL, *labels]:
             specs.append(
-                RunSpec(app_name, chip=chip, core_config=label, seed=seed)
+                RunSpec(
+                    app_name, chip=chip, core_config=label, seed=seed,
+                    trace_policy="none",
+                )
             )
     return specs
 

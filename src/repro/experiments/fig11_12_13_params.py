@@ -97,13 +97,20 @@ def param_sweep_specs(
     chip = chip if chip is not None else "exynos5422"
     app_names = apps or MOBILE_APP_NAMES
     variants = variants if variants is not None else variant_configs()
+    # Scalar-only consumers: drop the traces at the source.
     specs = [
-        RunSpec(app, chip=chip, scheduler=baseline_config(), seed=seed)
+        RunSpec(
+            app, chip=chip, scheduler=baseline_config(), seed=seed,
+            trace_policy="none",
+        )
         for app in app_names
     ]
     for variant in variants:
         specs.extend(
-            RunSpec(app, chip=chip, scheduler=variant, seed=seed)
+            RunSpec(
+                app, chip=chip, scheduler=variant, seed=seed,
+                trace_policy="none",
+            )
             for app in app_names
         )
     return specs

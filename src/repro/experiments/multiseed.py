@@ -14,8 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.report import render_table
-from repro.core.study import CharacterizationStudy
-from repro.core.tlp import tlp_stats
+from repro.experiments.common import STUDY_CHIP_ID
 from repro.runner import BatchRunner, RunSpec
 from repro.workloads.mobile import MOBILE_APP_NAMES
 
@@ -80,15 +79,20 @@ def run_tlp_multiseed(
     """Table III with error bars over several seeds.
 
     Each (app, seed) simulation is an independent :class:`RunSpec`
-    dispatched through :class:`BatchRunner`; the TLP statistics are then
-    computed from the returned traces exactly as
-    :meth:`CharacterizationStudy.characterize` would (same chip, same
-    warmup trim), so the numbers match the serial study bit for bit.
+    dispatched through :class:`BatchRunner`; the TLP statistics are
+    computed **inside the workers** via the ``"tlp"`` reduction (same
+    chip, same warmup trim as
+    :meth:`~repro.core.study.CharacterizationStudy.characterize`), so
+    the numbers match the serial study bit for bit while no trace ever
+    crosses the pool.
     """
     seeds = seeds if seeds is not None else [0, 1, 2]
     apps = apps or MOBILE_APP_NAMES
     specs = [
-        RunSpec(app, chip="exynos5422-screen", seed=seed)
+        RunSpec(
+            app, chip=STUDY_CHIP_ID, seed=seed,
+            reductions=("tlp",), trace_policy="none",
+        )
         for seed in seeds
         for app in apps
     ]
@@ -96,13 +100,11 @@ def run_tlp_multiseed(
         runner = BatchRunner(workers=workers)
     report = runner.run(specs)
     report.raise_on_failure()
-    warmup_s = CharacterizationStudy.WARMUP_S
     per_seed = {}
     for i, seed in enumerate(seeds):
         rows = report.results[i * len(apps) : (i + 1) * len(apps)]
         per_seed[seed] = {
-            app: tlp_stats(run.trace.trimmed(warmup_s))
-            for app, run in zip(apps, rows)
+            app: run.reduction("tlp") for app, run in zip(apps, rows)
         }
     result = MultiSeedTLPResult(seeds=list(seeds))
     for app in apps:

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from repro.core.efficiency import CATEGORY_NAMES, EfficiencyBreakdown
 from repro.core.report import render_table
 from repro.core.study import CharacterizationStudy
+from repro.experiments.common import study_specs
+from repro.runner import BatchRunner
 from repro.workloads.mobile import MOBILE_APP_NAMES
 
 
@@ -41,10 +43,23 @@ def run_efficiency_table(
     study: CharacterizationStudy | None = None,
     apps: list[str] | None = None,
     seed: int = 0,
+    runner: BatchRunner | None = None,
 ) -> EfficiencyTableResult:
-    """Run Table V over the selected apps (default: all 12)."""
-    study = study or CharacterizationStudy(seed=seed)
+    """Run Table V over the selected apps (default: all 12).
+
+    With a ``runner``, the breakdown is computed in-worker via the
+    ``"efficiency"`` reduction (bit-identical to the study path) and the
+    specs share their cache entries with Tables III/IV and Figures 9/10.
+    """
+    apps = apps or MOBILE_APP_NAMES
     result = EfficiencyTableResult()
-    for app in apps or MOBILE_APP_NAMES:
+    if runner is not None:
+        report = runner.run(study_specs(apps, seed=seed))
+        report.raise_on_failure()
+        for app, run in zip(apps, report.results):
+            result.breakdowns[app] = run.reduction("efficiency")
+        return result
+    study = study or CharacterizationStudy(seed=seed)
+    for app in apps:
         result.breakdowns[app] = study.characterize(app).efficiency
     return result

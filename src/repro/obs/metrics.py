@@ -52,12 +52,23 @@ __all__ = [
     "MetricsSnapshot",
     "MetricsCollector",
     "FASTFORWARD_BUCKETS_TICKS",
+    "TRANSPORT_BUCKETS_BYTES",
+    "global_metrics",
+    "reset_global_metrics",
 ]
 
 #: Fixed bucket edges for the idle fast-forward span-length histogram
 #: (ticks).  Spans shorter than the engine's minimum never occur.
 FASTFORWARD_BUCKETS_TICKS: tuple[int, ...] = (
     8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384,
+)
+
+#: Fixed bucket edges (bytes) for the result-pipeline payload-size
+#: histograms: ``runner.transport.result_bytes`` and
+#: ``cache.entry_bytes``.  1 KiB .. 64 MiB in powers of four.
+TRANSPORT_BUCKETS_BYTES: tuple[int, ...] = (
+    1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20,
+    1 << 22, 1 << 24, 1 << 26,
 )
 
 
@@ -322,3 +333,37 @@ def attach_collector(bus: EventBus, collector: Optional[MetricsCollector] = None
     collector = collector or MetricsCollector()
     bus.subscribe(collector.on_event)
     return collector
+
+
+# ---------------------------------------------------------------------------
+# Process-global registry: the result-pipeline metrics family
+# ---------------------------------------------------------------------------
+
+#: Per-run metrics live on an ``Observation``'s registry; cross-run
+#: infrastructure metrics (worker→parent transport, RLE inflation,
+#: cache entry sizes) accumulate here, per process:
+#:
+#: - ``runner.transport.bytes`` / ``runner.transport.results`` — bytes
+#:   and result count shipped back from pool workers (array payload;
+#:   RLE results count their encoded size),
+#: - ``runner.transport.result_bytes`` — per-result payload histogram,
+#: - ``runner.shm.bytes`` — dense bytes moved via the shared-memory
+#:   fast path instead of the pickle stream,
+#: - ``trace.rle.inflations`` / ``trace.rle.inflated_bytes`` — lazy
+#:   traces materialized on first dense access,
+#: - ``cache.entry_bytes`` (histogram), ``cache.bytes_written`` /
+#:   ``cache.bytes_loaded`` / ``cache.hits`` / ``cache.misses`` — the
+#:   on-disk result cache's footprint and traffic.
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_metrics() -> MetricsRegistry:
+    """The process-global registry for result-pipeline metrics."""
+    return _GLOBAL_REGISTRY
+
+
+def reset_global_metrics() -> MetricsRegistry:
+    """Swap in a fresh global registry (tests; returns the new one)."""
+    global _GLOBAL_REGISTRY
+    _GLOBAL_REGISTRY = MetricsRegistry()
+    return _GLOBAL_REGISTRY

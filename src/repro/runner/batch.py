@@ -33,6 +33,7 @@ from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Union
 
+from repro.obs.metrics import TRANSPORT_BUCKETS_BYTES, global_metrics
 from repro.runner.cache import ResultCache
 from repro.runner.events import EventCallback, EventSink
 from repro.runner.spec import RunResult, RunSpec, execute_spec
@@ -67,12 +68,21 @@ def _worker_init() -> None:
     resolve_chip(DEFAULT_CHIP_ID)
 
 
-def _execute_job(spec: RunSpec, timeout_s: Optional[float]) -> RunResult:
+def _execute_job(
+    spec: RunSpec, timeout_s: Optional[float], in_pool: bool = False
+) -> RunResult:
     """Execute one spec with an optional in-process alarm timeout.
 
     Module-level so pool workers can unpickle it.  The alarm is only
     armed in a main thread (workers always are); elsewhere the job runs
     untimed rather than failing.
+
+    Handler hygiene: the previous ``SIGALRM`` disposition is restored
+    and the itimer cancelled on **every** exit path — success, job
+    exception, timeout, and even a failure while arming the timer —
+    via nested ``try``/``finally``.  A leaked handler would fire inside
+    the *next* job on this worker (the retry/crash branch reuses the
+    process), mis-attributing the timeout.
     """
     use_alarm = (
         timeout_s is not None
@@ -81,17 +91,19 @@ def _execute_job(spec: RunSpec, timeout_s: Optional[float]) -> RunResult:
         and threading.current_thread() is threading.main_thread()
     )
     if not use_alarm:
-        return execute_spec(spec)
+        return execute_spec(spec, in_pool=in_pool)
 
     def _on_alarm(_signum, _frame):  # pragma: no cover - exercised via raise
         raise JobTimeout(f"job exceeded {timeout_s:.3f}s: {spec.label()}")
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout_s)
     try:
-        return execute_spec(spec)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+        try:
+            return execute_spec(spec, in_pool=in_pool)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
 
 
@@ -118,6 +130,11 @@ class BatchReport:
     wall_s: float
     cache_hits: int
     cache_misses: int
+    #: Trace-payload bytes that crossed the worker→parent pickle stream
+    #: (0 for serial/inline runs and for cache hits).
+    transport_bytes: int = 0
+    #: Dense trace bytes moved via the shared-memory fast path instead.
+    shm_bytes: int = 0
 
     @property
     def n_jobs(self) -> int:
@@ -240,6 +257,8 @@ class BatchRunner:
         self.retries = retries
         self.on_event = on_event
         self.log_path = log_path
+        self._transport_bytes = 0
+        self._shm_bytes = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -250,6 +269,8 @@ class BatchRunner:
         results: list[Optional[RunResult]] = [None] * n
         records: list[Optional[JobRecord]] = [None] * n
         serial = self.workers == 1 or os.environ.get(SERIAL_ENV) == "1"
+        self._transport_bytes = 0
+        self._shm_bytes = 0
         t0 = time.monotonic()
 
         with EventSink(self.on_event, self.log_path) as sink:
@@ -292,6 +313,8 @@ class BatchRunner:
                 wall_s=wall_s,
                 cache_hits=cache_hits,
                 cache_misses=len(pending),
+                transport_bytes=self._transport_bytes,
+                shm_bytes=self._shm_bytes,
             )
             sink.emit(
                 "batch_done",
@@ -314,6 +337,32 @@ class BatchRunner:
 
     # -- outcome bookkeeping ------------------------------------------------
 
+    def _account_transport(self, result: RunResult) -> None:
+        """Record one pool result's payload size; rehydrate shm traces.
+
+        Called only on the parallel path (serial/inline results never
+        cross a process boundary).  A ``"shm"``-policy result arrives as
+        a :class:`~repro.runner.shm.ShmTraceHandle`; it is converted
+        back to a dense :class:`~repro.sim.trace.Trace` here — before
+        caching — and its bytes are charged to ``runner.shm.bytes``
+        rather than the pickle-transport counters.
+        """
+        from repro.runner.shm import ShmTraceHandle
+
+        payload = result.transport_nbytes()
+        reg = global_metrics()
+        reg.counter("runner.transport.results").inc()
+        reg.counter("runner.transport.bytes").inc(payload)
+        reg.histogram(
+            "runner.transport.result_bytes", TRANSPORT_BUCKETS_BYTES
+        ).observe(payload)
+        self._transport_bytes += payload
+        if isinstance(result.trace, ShmTraceHandle):
+            handle = result.trace
+            self._shm_bytes += handle.total_nbytes
+            reg.counter("runner.shm.bytes").inc(handle.total_nbytes)
+            result.trace = handle.to_trace()
+
     def _finish_ok(
         self,
         job: _Job,
@@ -321,7 +370,10 @@ class BatchRunner:
         results: list[Optional[RunResult]],
         records: list[Optional[JobRecord]],
         sink: EventSink,
+        transported: bool = False,
     ) -> None:
+        if transported:
+            self._account_transport(result)
         if self.cache is not None:
             self.cache.store(job.spec, result)
         results[job.index] = result
@@ -410,7 +462,9 @@ class BatchRunner:
                 for job in todo:
                     job.attempts += 1
                     submit_t[job.index] = time.monotonic()
-                    futures[pool.submit(_execute_job, job.spec, self.timeout_s)] = job
+                    futures[
+                        pool.submit(_execute_job, job.spec, self.timeout_s, True)
+                    ] = job
                 broken = False
                 settled: set[int] = set()
                 try:
@@ -432,7 +486,10 @@ class BatchRunner:
                         else:
                             job.duration_s += elapsed
                             settled.add(job.index)
-                            self._finish_ok(job, result, results, records, sink)
+                            self._finish_ok(
+                                job, result, results, records, sink,
+                                transported=True,
+                            )
                 except BrokenProcessPool:
                     broken = True
                 if broken:
@@ -447,7 +504,10 @@ class BatchRunner:
                         elapsed = time.monotonic() - submit_t[job.index]
                         if fut.done() and fut.exception() is None:
                             job.duration_s += elapsed
-                            self._finish_ok(job, fut.result(), results, records, sink)
+                            self._finish_ok(
+                                job, fut.result(), results, records, sink,
+                                transported=True,
+                            )
                         else:
                             job.duration_s += elapsed
                             if self._should_retry(job, crash, sink):

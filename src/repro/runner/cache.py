@@ -2,16 +2,28 @@
 
 Layout: ``<root>/<repro.__version__>/<spec_key>/`` holding
 
-- ``result.json`` — the spec manifest plus the scalar metrics
-  (serialized through :func:`repro.experiments.serialize.to_jsonable`),
-- ``trace.npz`` — the full simulation trace via :mod:`repro.sim.traceio`
-  (absent when the result carried no trace).
+- ``result.json`` — the spec manifest plus the scalar metrics and any
+  in-worker reduction payloads (serialized through
+  :func:`repro.experiments.serialize.to_jsonable`),
+- ``trace.npz`` — the dense simulation trace via
+  :mod:`repro.sim.traceio`, **or**
+- ``trace.rle`` — the run-length-encoded columnar form, written when
+  the result carries a :class:`~repro.sim.traceio.LazyTrace` (the
+  ``"rle"`` trace policy); loaded back lazily, so a cache hit costs
+  only the compressed read until someone touches the dense arrays.
+  Entries with no trace file simply had none (``trace_policy="none"``).
 
 Keying by spec hash *and* package version means a version bump
 invalidates every entry wholesale — simulation semantics may have
 changed — without touching older versions' entries.  Writes go through
 a temp directory + atomic rename, so a killed run never leaves a
 half-written entry that a later run would trust.
+
+Every instance keeps a :class:`CacheStats` tally (hits, misses, bytes
+in either direction) and mirrors it into the process-global metrics
+registry (``cache.hits`` / ``cache.misses`` / ``cache.bytes_loaded`` /
+``cache.bytes_written`` counters and the ``cache.entry_bytes``
+histogram of on-disk entry sizes).
 """
 
 from __future__ import annotations
@@ -20,11 +32,19 @@ import json
 import os
 import shutil
 import tempfile
+from dataclasses import dataclass
 from typing import Optional
 
 import repro
+from repro.obs.metrics import TRANSPORT_BUCKETS_BYTES, global_metrics
 from repro.runner.spec import RunResult, RunSpec
-from repro.sim.traceio import load_trace, save_trace
+from repro.sim.traceio import (
+    LazyTrace,
+    load_trace,
+    load_trace_lazy,
+    save_trace,
+    save_trace_rle,
+)
 
 #: Environment override for the cache root (tests, CI, shared scratch).
 CACHE_DIR_ENV = "REPRO_RUNNER_CACHE"
@@ -40,15 +60,51 @@ def default_cache_dir() -> str:
     )
 
 
+def _dir_nbytes(path: str) -> int:
+    """Total size of the regular files directly inside ``path``."""
+    total = 0
+    try:
+        with os.scandir(path) as it:
+            for entry in it:
+                if entry.is_file():
+                    total += entry.stat().st_size
+    except OSError:
+        pass
+    return total
+
+
+@dataclass
+class CacheStats:
+    """One cache instance's traffic counters."""
+
+    hits: int = 0
+    misses: int = 0
+    entries_written: int = 0
+    bytes_loaded: int = 0
+    bytes_written: int = 0
+
+    def summary(self) -> str:
+        total = self.hits + self.misses
+        rate = (100.0 * self.hits / total) if total else 0.0
+        return (
+            f"{self.hits}/{total} hits ({rate:.0f}%), "
+            f"{self.entries_written} entries written, "
+            f"{self.bytes_written / 1e6:.2f} MB written, "
+            f"{self.bytes_loaded / 1e6:.2f} MB loaded"
+        )
+
+
 class ResultCache:
     """Spec-keyed persistent store of :class:`RunResult` objects."""
 
     RESULT_FILE = "result.json"
     TRACE_FILE = "trace.npz"
+    RLE_TRACE_FILE = "trace.rle"
 
     def __init__(self, root: Optional[str] = None, version: Optional[str] = None):
         self.root = root or default_cache_dir()
         self.version = version if version is not None else repro.__version__
+        self.stats = CacheStats()
 
     def entry_dir(self, spec: RunSpec) -> str:
         return os.path.join(self.root, self.version, spec.key())
@@ -56,11 +112,17 @@ class ResultCache:
     def contains(self, spec: RunSpec) -> bool:
         return os.path.isfile(os.path.join(self.entry_dir(spec), self.RESULT_FILE))
 
+    def _miss(self) -> None:
+        self.stats.misses += 1
+        global_metrics().counter("cache.misses").inc()
+
     def load(self, spec: RunSpec) -> Optional[RunResult]:
         """Return the cached result for ``spec``, or ``None`` on any miss.
 
         Unreadable or torn entries count as misses (the batch simply
-        re-runs the simulation), never as errors.
+        re-runs the simulation), never as errors.  An RLE-stored trace
+        comes back as a :class:`~repro.sim.traceio.LazyTrace`; dense
+        inflation is deferred until first array access.
         """
         entry = self.entry_dir(spec)
         path = os.path.join(entry, self.RESULT_FILE)
@@ -68,24 +130,42 @@ class ResultCache:
             with open(path) as f:
                 payload = json.load(f)
         except (OSError, ValueError):
+            self._miss()
             return None
         scalars = payload.get("result")
         if not isinstance(scalars, dict):
+            self._miss()
             return None
         trace = None
+        rle_path = os.path.join(entry, self.RLE_TRACE_FILE)
         trace_path = os.path.join(entry, self.TRACE_FILE)
-        if os.path.isfile(trace_path):
-            try:
-                trace = load_trace(trace_path)
-            except (OSError, ValueError, KeyError):
-                return None
         try:
-            return RunResult(trace=trace, **scalars)
-        except TypeError:
+            if os.path.isfile(rle_path):
+                trace = load_trace_lazy(rle_path)
+            elif os.path.isfile(trace_path):
+                trace = load_trace(trace_path)
+        except (OSError, ValueError, KeyError):
+            self._miss()
             return None
+        try:
+            result = RunResult(trace=trace, **scalars)
+        except TypeError:
+            self._miss()
+            return None
+        loaded = _dir_nbytes(entry)
+        self.stats.hits += 1
+        self.stats.bytes_loaded += loaded
+        reg = global_metrics()
+        reg.counter("cache.hits").inc()
+        reg.counter("cache.bytes_loaded").inc(loaded)
+        return result
 
     def store(self, spec: RunSpec, result: RunResult) -> str:
-        """Persist ``result`` under ``spec``'s key; returns the entry dir."""
+        """Persist ``result`` under ``spec``'s key; returns the entry dir.
+
+        A :class:`~repro.sim.traceio.LazyTrace` is written in its RLE
+        form directly — storing a compressed result never inflates it.
+        """
         entry = self.entry_dir(spec)
         parent = os.path.dirname(entry)
         os.makedirs(parent, exist_ok=True)
@@ -98,14 +178,22 @@ class ResultCache:
             }
             with open(os.path.join(tmp, self.RESULT_FILE), "w") as f:
                 json.dump(payload, f, indent=2, sort_keys=True)
-            if result.trace is not None:
+            if isinstance(result.trace, LazyTrace):
+                save_trace_rle(result.trace, os.path.join(tmp, self.RLE_TRACE_FILE))
+            elif result.trace is not None:
                 save_trace(result.trace, os.path.join(tmp, self.TRACE_FILE))
+            written = _dir_nbytes(tmp)
             if os.path.isdir(entry):
                 shutil.rmtree(entry)
             os.replace(tmp, entry)
         except BaseException:
             shutil.rmtree(tmp, ignore_errors=True)
             raise
+        self.stats.entries_written += 1
+        self.stats.bytes_written += written
+        reg = global_metrics()
+        reg.counter("cache.bytes_written").inc(written)
+        reg.histogram("cache.entry_bytes", TRANSPORT_BUCKETS_BYTES).observe(written)
         return entry
 
     def evict(self, spec: RunSpec) -> None:

@@ -1,0 +1,131 @@
+"""Shared-memory trace transport: dense arrays without the pickle copy.
+
+The ``"shm"`` trace policy's mechanism.  A pool worker that must ship
+dense arrays to the parent parks them in a POSIX shared-memory segment
+(:mod:`multiprocessing.shared_memory`) and returns only a
+:class:`ShmTraceHandle` — a few hundred bytes of names, dtypes, and
+shapes — through the executor's pickle stream.  The parent rebuilds the
+:class:`~repro.sim.trace.Trace` from the segment and unlinks it, so the
+tick arrays cross the process boundary exactly once, as raw bytes,
+instead of being pickled, copied into the result queue, and unpickled.
+
+Lifecycle: the worker creates the segment and deliberately leaves it
+linked (see :func:`_disown`); the parent attaches, copies out, closes,
+and unlinks inside :meth:`ShmTraceHandle.to_trace`.  If the parent dies
+between the two, the segment leaks until reboot or manual removal from
+``/dev/shm`` — the same failure window every shm-based transport has —
+which is why the policy is opt-in per spec rather than a default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.platform.coretypes import CoreType
+from repro.sim.trace import Trace
+
+#: The dense trace columns, in segment layout order.
+_FIELDS = ("_busy", "_freq", "_power", "_cpu_power", "_wakeups")
+
+
+def _disown(shm: shared_memory.SharedMemory) -> None:
+    """Stop this process's resource tracker from reaping the segment.
+
+    The creating worker exits before the parent has read the segment;
+    without this, the worker-side resource tracker would unlink it (or
+    warn about a leak) at interpreter shutdown.  Ownership passes to the
+    parent, which unlinks in :meth:`ShmTraceHandle.to_trace`.
+    """
+    try:  # pragma: no cover - exercised only where the tracker exists
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+@dataclass
+class ShmTraceHandle:
+    """A picklable descriptor of a dense trace parked in shared memory."""
+
+    shm_name: str
+    core_types: list[CoreType]
+    enabled: list[bool]
+    tick_s: float
+    n_ticks: int
+    #: (trace attribute, dtype string, shape) per column, in layout order.
+    layout: list[tuple[str, str, tuple[int, ...]]]
+    total_nbytes: int
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "ShmTraceHandle":
+        """Copy ``trace``'s columns into a fresh segment (worker side)."""
+        arrays = {
+            "_busy": trace.busy,
+            "_freq": np.stack([
+                trace.freq_khz(CoreType.LITTLE), trace.freq_khz(CoreType.BIG),
+            ]),
+            "_power": trace.power_mw,
+            "_cpu_power": np.stack([
+                trace.cpu_power_mw(CoreType.LITTLE),
+                trace.cpu_power_mw(CoreType.BIG),
+            ]),
+            "_wakeups": trace.wakeups,
+        }
+        total = sum(a.nbytes for a in arrays.values())
+        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        layout = []
+        offset = 0
+        for name in _FIELDS:
+            arr = np.ascontiguousarray(arrays[name])
+            view = np.ndarray(arr.shape, dtype=arr.dtype,
+                              buffer=shm.buf, offset=offset)
+            view[...] = arr
+            layout.append((name, arr.dtype.str, tuple(arr.shape)))
+            offset += arr.nbytes
+        handle = cls(
+            shm_name=shm.name,
+            core_types=list(trace.core_types),
+            enabled=list(trace.enabled),
+            tick_s=trace.tick_s,
+            n_ticks=len(trace),
+            layout=layout,
+            total_nbytes=total,
+        )
+        shm.close()
+        _disown(shm)
+        return handle
+
+    def to_trace(self) -> Trace:
+        """Rebuild the dense trace and release the segment (parent side)."""
+        # Attaching registers the segment with the resource tracker;
+        # ``unlink()`` below unregisters it again (CPython pairs the
+        # two), so no manual bookkeeping is needed on this side.
+        shm = shared_memory.SharedMemory(name=self.shm_name)
+        try:
+            n = self.n_ticks
+            trace = Trace(self.core_types, list(self.enabled),
+                          max_ticks=max(1, n))
+            offset = 0
+            for name, dtype_str, shape in self.layout:
+                dtype = np.dtype(dtype_str)
+                view = np.ndarray(shape, dtype=dtype,
+                                  buffer=shm.buf, offset=offset)
+                dest = getattr(trace, name)
+                if dest.ndim == 2:
+                    dest[:, :n] = view
+                else:
+                    dest[:n] = view
+                offset += view.nbytes
+            trace._len = n
+            trace.finalize()
+            return trace
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reaped
+                _disown(shm)

@@ -35,8 +35,22 @@ from repro.platform.chip import ChipSpec, CoreConfig, exynos5422
 from repro.sched.params import SchedulerConfig, baseline_config
 from repro.sim.engine import SimConfig, Simulator
 from repro.sim.trace import Trace
+from repro.sim.traceio import LazyTrace
 from repro.workloads.base import Metric
 from repro.workloads.mobile import make_app
+
+#: Valid ``RunSpec.trace_policy`` values — what happens to the dense
+#: trace once the worker has finished reductions:
+#:
+#: - ``"full"``: ship the dense arrays back (historical behaviour);
+#: - ``"rle"``: ship the run-length-encoded form; the parent sees a
+#:   :class:`~repro.sim.traceio.LazyTrace` that inflates on first
+#:   dense access;
+#: - ``"none"``: drop the trace — only scalars and reductions return;
+#: - ``"shm"``: in pool workers, park the dense arrays in shared memory
+#:   and ship a handle (the parent rebuilds a dense trace); inline runs
+#:   keep the trace as-is since nothing crosses a process boundary.
+TRACE_POLICIES = ("full", "rle", "none", "shm")
 
 # ---------------------------------------------------------------------------
 # Chip registry
@@ -119,6 +133,14 @@ class RunSpec:
             simulated trace, so observed and unobserved runs are
             bit-identical — but the key differs so cached unobserved
             results, which lack the snapshot, are not reused).
+        reductions: names from the :mod:`repro.core.reductions` registry
+            to execute **inside the worker**; payloads ride back on
+            :attr:`RunResult.reductions` and cache with the scalars.
+        trace_policy: what to do with the dense trace after reductions —
+            one of :data:`TRACE_POLICIES`.  Experiments that only read
+            scalars/reductions should declare ``"none"`` (nothing but a
+            few hundred bytes crosses the pool); ``"rle"`` keeps the
+            trace addressable at run-length cost.
     """
 
     workload: str
@@ -129,6 +151,18 @@ class RunSpec:
     seed: int = 0
     max_seconds: Optional[float] = None
     observe: bool = False
+    reductions: tuple[str, ...] = ()
+    trace_policy: str = "full"
+
+    def __post_init__(self):
+        if self.trace_policy not in TRACE_POLICIES:
+            raise ValueError(
+                f"unknown trace_policy {self.trace_policy!r}; "
+                f"valid: {', '.join(TRACE_POLICIES)}"
+            )
+        if not isinstance(self.reductions, tuple):
+            # Accept any iterable of names but store the hashable form.
+            object.__setattr__(self, "reductions", tuple(self.reductions))
 
     def manifest(self) -> dict[str, Any]:
         """Canonical JSON-compatible description (the hashed identity)."""
@@ -149,9 +183,13 @@ class RunSpec:
             "max_seconds": self.max_seconds,
         }
         # Only stamped when set, so every pre-existing cache key is
-        # unchanged for unobserved specs.
+        # unchanged for specs using the historical defaults.
         if self.observe:
             manifest["observe"] = True
+        if self.reductions:
+            manifest["reductions"] = list(self.reductions)
+        if self.trace_policy != "full":
+            manifest["trace_policy"] = self.trace_policy
         return manifest
 
     def key(self) -> str:
@@ -179,9 +217,11 @@ class RunSpec:
 class RunResult:
     """Everything a completed simulation reports back.
 
-    Scalar metrics are computed in the worker (the live ``App`` object is
-    not shipped back); the full :class:`Trace` rides along so callers can
-    run any :mod:`repro.core` analysis on the result.
+    Scalar metrics and any declared reductions are computed in the
+    worker (the live ``App`` object is not shipped back); what rides
+    along as ``trace`` depends on the spec's ``trace_policy`` — a dense
+    :class:`Trace`, a lazily-inflating
+    :class:`~repro.sim.traceio.LazyTrace`, or nothing.
     """
 
     spec_key: str
@@ -196,11 +236,42 @@ class RunResult:
     #: ``MetricsSnapshot.to_dict()`` of an observed run (``observe=True``),
     #: else ``None``.  Plain JSON, so it caches with the other scalars.
     metrics: Optional[dict[str, Any]] = None
-    trace: Optional[Trace] = None
+    #: ``{reduction name -> JSON payload}`` for the spec's declared
+    #: reductions (decode with :func:`repro.core.reductions.decode_reduction`),
+    #: else ``None``.  Plain JSON, so it caches with the other scalars.
+    reductions: Optional[dict[str, Any]] = None
+    trace: Optional[Union[Trace, LazyTrace]] = None
 
     @property
     def metric_enum(self) -> Metric:
         return Metric(self.metric)
+
+    def reduction(self, name: str) -> Any:
+        """The decoded analysis object of one declared reduction."""
+        if self.reductions is None or name not in self.reductions:
+            raise KeyError(
+                f"result for {self.workload!r} carries no {name!r} reduction; "
+                f"available: {', '.join(sorted(self.reductions or ()))}"
+            )
+        from repro.core.reductions import decode_reduction
+
+        return decode_reduction(name, self.reductions[name])
+
+    def transport_nbytes(self) -> int:
+        """Bytes the trace payload costs on the worker→parent pickle path.
+
+        Dense traces cost their array bytes, RLE traces their encoded
+        payload, shm handles and dropped traces (``"none"``) nothing —
+        the scalar/reduction envelope is negligible and uncounted.
+        """
+        trace = self.trace
+        if trace is None:
+            return 0
+        if isinstance(trace, LazyTrace):
+            return trace.payload_nbytes
+        if isinstance(trace, Trace):
+            return trace.nbytes
+        return 0  # e.g. a ShmTraceHandle awaiting rehydration
 
     def performance_value(self) -> float:
         """The app's headline metric: latency (s) or average FPS."""
@@ -223,6 +294,7 @@ class RunResult:
             "avg_fps": self.avg_fps,
             "min_fps": self.min_fps,
             "metrics": self.metrics,
+            "reductions": self.reductions,
         }
 
 
@@ -313,6 +385,37 @@ def resolve_kind(kind: str) -> Callable[[RunSpec], RunResult]:
     )
 
 
-def execute_spec(spec: RunSpec) -> RunResult:
+def finalize_result(spec: RunSpec, result: RunResult, in_pool: bool = False) -> RunResult:
+    """Apply the spec's reductions and trace policy to a fresh result.
+
+    Runs in the executing process, *before* anything is pickled back:
+    reductions see the dense trace, and the trace is then dropped,
+    RLE-encoded, or parked in shared memory per ``spec.trace_policy``.
+    The ``"shm"`` policy only converts when ``in_pool`` is set — inline
+    (serial) execution has no process boundary to cross, so the dense
+    trace is simply kept.
+    """
+    if spec.reductions and result.trace is not None and result.reductions is None:
+        from repro.core.reductions import compute_reductions
+
+        result.reductions = compute_reductions(
+            spec.reductions, result.trace, resolve_chip(spec.chip),
+            result.scalars(),
+        )
+    if result.trace is None:
+        return result
+    policy = spec.trace_policy
+    if policy == "none":
+        result.trace = None
+    elif policy == "rle" and isinstance(result.trace, Trace):
+        result.trace = LazyTrace.from_trace(result.trace)
+    elif policy == "shm" and in_pool and isinstance(result.trace, Trace):
+        from repro.runner.shm import ShmTraceHandle
+
+        result.trace = ShmTraceHandle.from_trace(result.trace)
+    return result
+
+
+def execute_spec(spec: RunSpec, in_pool: bool = False) -> RunResult:
     """Execute one spec in the current process (pool workers call this)."""
-    return resolve_kind(spec.kind)(spec)
+    return finalize_result(spec, resolve_kind(spec.kind)(spec), in_pool=in_pool)

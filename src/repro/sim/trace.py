@@ -175,6 +175,23 @@ class Trace:
         return self._len * self.tick_s
 
     @property
+    def nbytes(self) -> int:
+        """Dense in-memory footprint of the recorded columns (bytes).
+
+        Counts only the recorded ticks, not preallocated headroom — the
+        payload a worker would ship to the parent or a cache would store
+        uncompressed.
+        """
+        n = self._len
+        return (
+            self._busy[:, :n].nbytes
+            + self._freq[:, :n].nbytes
+            + self._power[:n].nbytes
+            + self._cpu_power[:, :n].nbytes
+            + self._wakeups[:n].nbytes
+        )
+
+    @property
     def busy(self) -> np.ndarray:
         """Busy fraction per core per tick, shape (n_cores, n_ticks)."""
         return self._busy[:, : self._len]
