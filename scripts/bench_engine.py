@@ -253,6 +253,57 @@ def bench_batch_transport(quick: bool, sim_seconds: float | None = None):
     }
 
 
+# ---------------------------------------------------------------------------
+# explore-small scenario: design-space exploration throughput
+# ---------------------------------------------------------------------------
+
+
+def bench_explore_small(quick: bool):
+    """Time a small grid-search explore study, cold and fully cached.
+
+    Tracks the exploration subsystem's end-to-end throughput in design
+    points per second — lowering, batch execution with in-worker
+    reductions, objective folding, and frontier bookkeeping — not the
+    tick engine.  The warm pass replays the identical study against the
+    same cache, so its points/sec is the orchestration-overhead ceiling.
+    """
+    from repro.explore import DesignSpace, ExploreStudy, GridSampler
+    from repro.runner import BatchRunner, ResultCache
+
+    horizon_s = 1.0 if quick else 4.0
+    space = DesignSpace({
+        "little_cores": (2, 4),
+        "big_cores": (0, 1, 2),
+        "hmp_up": (550, 700),
+        "workloads": (("browser",),),
+    })
+
+    def run_study(cache):
+        study = ExploreStudy(
+            space, GridSampler(),
+            runner=BatchRunner(workers=2, cache=cache),
+            full_horizon_s=horizon_s,
+        )
+        return study.run()
+
+    with tempfile.TemporaryDirectory(prefix="bench-explore-") as root:
+        cache = ResultCache(root=root)
+        cold = run_study(cache)
+        warm = run_study(cache)
+    n = len(cold.evaluations)
+    return {
+        "n_points": n,
+        "full_horizon_s": horizon_s,
+        "frontier_size": len(cold.frontier()),
+        "hypervolume": cold.hypervolume(),
+        "cold_wall_s": cold.wall_s,
+        "warm_wall_s": warm.wall_s,
+        "cold_points_per_sec": n / cold.wall_s if cold.wall_s > 0 else float("inf"),
+        "warm_points_per_sec": n / warm.wall_s if warm.wall_s > 0 else float("inf"),
+        "warm_cache_hits": warm.cache_hits,
+    }
+
+
 def compare(rows, baseline_path: str) -> None:
     """Print per-scenario deltas against a previous results JSON.
 
@@ -339,6 +390,15 @@ def main(argv=None) -> int:
               f"{row['bytes_reduction_vs_full']:>10.0f}x "
               f"{row['peak_worker_rss_kb'] / 1024:>8.0f}")
 
+    explore = bench_explore_small(args.quick)
+    print(f"\nexplore-small ({explore['n_points']} points x "
+          f"{explore['full_horizon_s']:.0f}s horizon, grid sampler): "
+          f"cold {explore['cold_points_per_sec']:.1f} pts/s "
+          f"({explore['cold_wall_s']:.2f}s), "
+          f"warm {explore['warm_points_per_sec']:.1f} pts/s "
+          f"({explore['warm_cache_hits']} cache hits), "
+          f"frontier {explore['frontier_size']}")
+
     if args.compare:
         compare(rows, args.compare)
 
@@ -349,6 +409,7 @@ def main(argv=None) -> int:
             "repeats": args.repeats,
             "scenarios": rows,
             "batch_transport": transport,
+            "explore_small": explore,
             "best_speedup": best["speedup"],
             "worst_speedup": worst["speedup"],
         }

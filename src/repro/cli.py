@@ -276,6 +276,94 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    """Design-space exploration: Pareto search under budget constraints."""
+    from repro.explore import (
+        AXIS_DEFAULTS,
+        Budget,
+        DesignSpace,
+        ExploreStudy,
+        make_sampler,
+        reference_space,
+    )
+
+    budget = Budget(max_area_mm2=args.area_mm2, max_power_mw=args.power_mw)
+    workloads = tuple(_csv(args.workloads)) if args.workloads else ("browser", "pdf-reader")
+    if args.axis:
+        axes: dict = {"workloads": (workloads,)}
+        for item in args.axis:
+            name, _, values = item.partition("=")
+            if not values:
+                raise SystemExit(f"--axis expects name=v1,v2,..., got {item!r}")
+            if name not in AXIS_DEFAULTS:
+                raise SystemExit(
+                    f"unknown axis {name!r}; valid: {', '.join(sorted(AXIS_DEFAULTS))}"
+                )
+            axes[name] = tuple(_axis_value(v) for v in _csv(values))
+        space = DesignSpace(axes=axes, budget=budget)
+    else:
+        space = reference_space(workloads=workloads, budget=budget)
+    sampler = make_sampler(args.sampler, max_points=args.max_points, seed=args.seed)
+    study = ExploreStudy(
+        space,
+        sampler,
+        runner=_make_runner(args),
+        full_horizon_s=args.horizon,
+        seed=args.seed,
+        checkpoint_path=args.checkpoint,
+    )
+    result = study.run()
+    print(result.render())
+    if args.json:
+        result.save(args.json)
+        log.info("frontier artifact written to %s", args.json)
+    return 0 if result.full_evaluations() else 1
+
+
+def _axis_value(text: str):
+    """Parse one axis candidate: int, then float, then bare string."""
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or garbage-collect the on-disk result cache."""
+    import repro
+    from repro.runner import ResultCache
+
+    cache = ResultCache(root=args.cache_dir)
+    stats = cache.disk_stats()
+    if args.prune:
+        removed_entries, removed_bytes = cache.prune_versions()
+        print(
+            f"pruned {removed_entries} entries "
+            f"({removed_bytes / 1e6:.2f} MB) from versions other than "
+            f"{repro.__version__}"
+        )
+        stats = cache.disk_stats()
+    rows = [
+        [
+            version,
+            "current" if version == cache.version else "stale",
+            s["entries"],
+            f"{s['bytes'] / 1e6:.2f}",
+        ]
+        for version, s in sorted(stats.items())
+    ]
+    print(render_table(
+        ["version", "status", "entries", "MB"],
+        rows,
+        title=f"Result cache at {cache.root}",
+    ))
+    if args.stats:
+        print(f"\nthis process: {cache.stats.summary()}")
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -404,6 +492,58 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the result as JSON")
     _add_runner_options(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="design-space exploration: perf/energy Pareto search over "
+             "topology x scheduler x workload space",
+    )
+    p_explore.add_argument("--workloads", default=None,
+                           help="comma-separated workload mix every point runs "
+                                "(default: browser,pdf-reader)")
+    p_explore.add_argument("--axis", action="append", metavar="NAME=V1,V2,...",
+                           default=None,
+                           help="override a design axis (repeatable); "
+                                "without any --axis the documented reference "
+                                "space is searched")
+    p_explore.add_argument("--area-mm2", type=float, default=20.5,
+                           help="area budget in mm2 (default: 20.5, which "
+                                "admits the paper's 4L+4B chip)")
+    p_explore.add_argument("--power-mw", type=float, default=None,
+                           help="peak-power budget in mW (default: none)")
+    p_explore.add_argument("--sampler", choices=["grid", "random", "adaptive"],
+                           default="adaptive",
+                           help="search strategy (default: adaptive "
+                                "successive halving)")
+    p_explore.add_argument("--max-points", type=_positive_int, default=None,
+                           help="cap on candidate design points")
+    p_explore.add_argument("--horizon", type=float, default=8.0,
+                           help="full-fidelity simulated seconds per workload "
+                                "(default: 8)")
+    p_explore.add_argument("--seed", type=int, default=0)
+    p_explore.add_argument("--checkpoint", metavar="PATH", default=None,
+                           help="JSONL study checkpoint for crash-resume")
+    p_explore.add_argument("--json", metavar="PATH", default=None,
+                           help="write the frontier artifact as JSON")
+    p_explore.add_argument("--timeout", type=float, default=None,
+                           help="per-job wall-clock timeout in seconds")
+    p_explore.add_argument("--retries", type=int, default=1,
+                           help="re-executions for crashed/failed jobs "
+                                "(default: 1)")
+    _add_runner_options(p_explore)
+    p_explore.set_defaults(func=_cmd_explore)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or garbage-collect the on-disk result cache",
+    )
+    p_cache.add_argument("--stats", action="store_true",
+                         help="also print this process's hit/miss counters")
+    p_cache.add_argument("--prune", action="store_true",
+                         help="drop entries written by other repro versions")
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="result-cache root (default: ~/.cache/repro-runner)")
+    p_cache.set_defaults(func=_cmd_cache)
 
     return parser
 

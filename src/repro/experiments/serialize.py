@@ -18,11 +18,21 @@ import numpy as np
 
 
 def to_jsonable(obj: Any) -> Any:
-    """Recursively convert ``obj`` into JSON-compatible structures."""
+    """Recursively convert ``obj`` into JSON-compatible structures.
+
+    Objects exposing a ``to_jsonable()`` method (e.g.
+    :class:`~repro.platform.opp.OPPTable`, whose state is otherwise all
+    private) serialize through it — essential for content-hashing
+    inline chip specs, where falling back to ``repr`` would collapse
+    distinct operating-point tables onto one hash.
+    """
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return obj
     if isinstance(obj, enum.Enum):
         return obj.value
+    method = getattr(obj, "to_jsonable", None)
+    if callable(method):
+        return to_jsonable(method())
     if isinstance(obj, (np.integer,)):
         return int(obj)
     if isinstance(obj, (np.floating,)):

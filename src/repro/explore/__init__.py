@@ -1,0 +1,72 @@
+"""Design-space exploration: Pareto search over chip/scheduler/workload space.
+
+The paper fixes seven core configurations of one chip; this package
+turns the question around and *searches* the configuration space —
+topology (core counts, per-cluster OPP ceilings, L2 sizes), HMP and
+governor parameters, and workload mix — under area/power budgets, for
+the perf/energy Pareto frontier.
+
+Entry points:
+
+- :class:`~repro.explore.space.DesignSpace` /
+  :func:`~repro.explore.space.reference_space` — declare the search
+  region and budget;
+- :mod:`~repro.explore.samplers` — grid, seeded-random, and the
+  adaptive successive-halving sampler;
+- :class:`~repro.explore.study.ExploreStudy` — run it (resumable,
+  cached, parallel) and get a :class:`~repro.explore.study.StudyResult`
+  with the frontier artifact;
+- ``biglittle explore`` — the CLI front-end.
+"""
+
+from repro.explore.pareto import (
+    dominates,
+    hypervolume,
+    pareto_front,
+    pareto_indices,
+    reference_point,
+)
+from repro.explore.samplers import (
+    AdaptiveSampler,
+    Evaluation,
+    GridSampler,
+    ObservedPoint,
+    RandomSampler,
+    Rung,
+    make_sampler,
+)
+from repro.explore.space import (
+    AXIS_DEFAULTS,
+    Budget,
+    DesignPoint,
+    DesignSpace,
+    TopologyParams,
+    lower_point,
+    reference_space,
+)
+from repro.explore.study import EvaluatedPoint, ExploreStudy, StudyResult
+
+__all__ = [
+    "AXIS_DEFAULTS",
+    "AdaptiveSampler",
+    "Budget",
+    "DesignPoint",
+    "DesignSpace",
+    "EvaluatedPoint",
+    "Evaluation",
+    "ExploreStudy",
+    "GridSampler",
+    "ObservedPoint",
+    "RandomSampler",
+    "Rung",
+    "StudyResult",
+    "TopologyParams",
+    "dominates",
+    "hypervolume",
+    "lower_point",
+    "make_sampler",
+    "pareto_front",
+    "pareto_indices",
+    "reference_point",
+    "reference_space",
+]

@@ -1,0 +1,151 @@
+"""Pareto dominance, frontier extraction, and hypervolume.
+
+All functions operate on plain objective tuples under **minimization**:
+an objective vector ``a`` dominates ``b`` when it is no worse in every
+component and strictly better in at least one.  The explore subsystem
+uses two objectives — a performance cost (latency seconds, or seconds
+per frame for FPS apps) and energy (mJ) — but everything here is
+dimension-generic except :func:`hypervolume`, which is the classic 2-D
+sweep.
+
+Contracts the property tests (``tests/test_explore_pareto.py``) pin
+down:
+
+- frontier members are mutually non-dominated;
+- every non-member is dominated by some member;
+- the *set of objective vectors* on the frontier is invariant under
+  input permutation and point duplication (duplicated frontier vectors
+  are each kept — equal vectors never dominate each other);
+- hypervolume is monotone: adding points never decreases it, and only
+  frontier points contribute.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "dominates",
+    "pareto_indices",
+    "pareto_front",
+    "pareto_rank_order",
+    "hypervolume",
+    "reference_point",
+]
+
+Objectives = Sequence[float]
+
+
+def dominates(a: Objectives, b: Objectives) -> bool:
+    """True when ``a`` dominates ``b`` (minimization, strict somewhere)."""
+    if len(a) != len(b):
+        raise ValueError(f"objective arity mismatch: {len(a)} vs {len(b)}")
+    better_somewhere = False
+    for ai, bi in zip(a, b):
+        if ai > bi:
+            return False
+        if ai < bi:
+            better_somewhere = True
+    return better_somewhere
+
+
+def pareto_indices(points: Sequence[Objectives]) -> list[int]:
+    """Indices of the non-dominated points, in input order.
+
+    Equal vectors do not dominate each other, so duplicates of a
+    frontier vector all survive.  The 2-D case runs as an O(n log n)
+    sweep; higher arities fall back to the quadratic check.
+    """
+    n = len(points)
+    if n == 0:
+        return []
+    arity = len(points[0])
+    if arity == 2:
+        # Sort by (x, y); sweep keeps a point iff its y is strictly
+        # below every earlier point's y — except exact duplicates of a
+        # kept vector, which are kept too.
+        order = sorted(range(n), key=lambda i: (points[i][0], points[i][1]))
+        keep: list[int] = []
+        best_y = float("inf")
+        kept_vectors: set[tuple[float, float]] = set()
+        for i in order:
+            x, y = points[i]
+            if y < best_y:
+                best_y = y
+                keep.append(i)
+                kept_vectors.add((x, y))
+            elif (x, y) in kept_vectors:
+                keep.append(i)
+        return sorted(keep)
+    return [
+        i
+        for i in range(n)
+        if not any(j != i and dominates(points[j], points[i]) for j in range(n))
+    ]
+
+
+def pareto_front(points: Sequence[Objectives]) -> list[tuple[float, ...]]:
+    """The distinct non-dominated objective vectors, sorted."""
+    return sorted({tuple(points[i]) for i in pareto_indices(points)})
+
+
+def pareto_rank_order(points: Sequence[Objectives]) -> list[int]:
+    """Indices ordered by successive non-dominated fronts (NSGA-style).
+
+    Front 1 first, then the front of what remains, and so on; within a
+    front, indices sort by the objective vector itself (then input
+    index), so the order is deterministic and independent of input
+    permutation up to exact ties.  The adaptive sampler promotes a
+    prefix of this order to full-fidelity simulation.
+    """
+    remaining = list(range(len(points)))
+    ordered: list[int] = []
+    while remaining:
+        sub = [points[i] for i in remaining]
+        front_local = pareto_indices(sub)
+        front = [remaining[i] for i in front_local]
+        front.sort(key=lambda i: (tuple(points[i]), i))
+        ordered.extend(front)
+        picked = set(front)
+        remaining = [i for i in remaining if i not in picked]
+    return ordered
+
+
+def reference_point(
+    points: Sequence[Objectives], margin: float = 0.01
+) -> tuple[float, ...]:
+    """A reference point dominated by every input (componentwise worst).
+
+    Each component is the maximum observed value stretched by
+    ``margin`` (absolute 1.0 for zero-valued components), so boundary
+    points still sweep non-zero area in :func:`hypervolume`.
+    """
+    if not points:
+        raise ValueError("reference_point needs at least one point")
+    arity = len(points[0])
+    worst = [max(p[k] for p in points) for k in range(arity)]
+    return tuple(w + (abs(w) * margin if w != 0 else 1.0) for w in worst)
+
+
+def hypervolume(points: Sequence[Objectives], ref: Objectives) -> float:
+    """2-D dominated hypervolume of ``points`` w.r.t. reference ``ref``.
+
+    The area (perf-cost x energy, both minimized) dominated by the
+    point set and bounded by ``ref``.  Points not strictly better than
+    ``ref`` in both components contribute nothing.  This is the study's
+    progress metric: it grows monotonically as the frontier improves.
+    """
+    if len(ref) != 2:
+        raise ValueError("hypervolume is implemented for 2 objectives")
+    rx, ry = float(ref[0]), float(ref[1])
+    inside = [(float(p[0]), float(p[1])) for p in points if p[0] < rx and p[1] < ry]
+    if not inside:
+        return 0.0
+    front = pareto_front(inside)  # sorted by x asc => y strictly desc
+    volume = 0.0
+    prev_y = ry
+    for x, y in front:
+        if y < prev_y:
+            volume += (rx - x) * (prev_y - y)
+            prev_y = y
+    return volume

@@ -1,0 +1,442 @@
+"""Resumable design-space exploration studies over the batch runner.
+
+:class:`ExploreStudy` wires a :class:`~repro.explore.space.DesignSpace`
+and a :class:`~repro.explore.samplers.Sampler` onto the repository's
+execution spine: every sampler batch lowers to ``RunSpec`` lists
+(``trace_policy="none"`` + declared reductions, so each point ships a
+few hundred bytes), runs through one :class:`~repro.runner.BatchRunner`
+(parallel, fault-tolerant, content-addressed-cached), and folds back
+into ``(perf_cost, energy_mj)`` minimization objectives.
+
+Crash-resume is layered:
+
+- the **result cache** replays any simulation whose spec hash was seen
+  before (same point, fidelity, seed — across studies and processes);
+- the optional **JSONL checkpoint** replays whole *evaluations* (point
+  x fidelity) without touching the runner at all.  Each line is keyed
+  by the hash of the evaluation's spec keys; the header line pins the
+  study identity (space key, horizon, seed, package version), and a
+  stale header quietly starts the file over.
+
+Progress rides on the global metrics registry: the ``explore.points``
+counter and the ``explore.frontier_size`` / ``explore.hypervolume``
+gauges update after every batch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import repro
+from repro.explore.pareto import hypervolume, pareto_indices, reference_point
+from repro.explore.samplers import Evaluation, ObservedPoint, Sampler
+from repro.explore.space import DesignPoint, DesignSpace, lower_point
+from repro.obs.logsetup import get_logger
+from repro.obs.metrics import global_metrics
+from repro.runner.batch import BatchRunner
+from repro.runner.spec import RunResult
+
+log = get_logger("explore.study")
+
+__all__ = ["EvaluatedPoint", "ExploreStudy", "StudyResult", "point_objectives"]
+
+#: Floor for degenerate FPS readings (a stalled pipeline at a short
+#: horizon); keeps the seconds-per-frame cost finite and strictly
+#: ordered below any healthy configuration.
+_MIN_FPS = 0.1
+
+
+def point_objectives(results: Sequence[RunResult]) -> tuple[float, float]:
+    """Fold one point's per-workload results into ``(perf_cost, energy)``.
+
+    Performance cost sums seconds over the mix — latency apps
+    contribute their latency, FPS apps their seconds-per-frame — and
+    energy sums millijoules, both minimized.  Summing keeps the fold
+    associative over the mix; per-workload scalars stay available in
+    the artifact for anyone needing a different aggregate.
+    """
+    perf_cost = 0.0
+    energy_mj = 0.0
+    for result in results:
+        if result.metric == "latency":
+            assert result.latency_s is not None
+            perf_cost += result.latency_s
+        else:
+            perf_cost += 1.0 / max(result.avg_fps or 0.0, _MIN_FPS)
+        energy_mj += result.energy_mj
+    return (perf_cost, energy_mj)
+
+
+@dataclass
+class EvaluatedPoint:
+    """One completed (point, fidelity) evaluation."""
+
+    point: DesignPoint
+    fidelity: float
+    objectives: Optional[tuple[float, float]]
+    spec_keys: list[str]
+    #: Per-workload scalar summaries (metric value, power, energy).
+    workloads: dict[str, dict[str, Any]] = field(default_factory=dict)
+    from_checkpoint: bool = False
+
+    @property
+    def is_full(self) -> bool:
+        return self.fidelity >= 1.0
+
+    def eval_key(self) -> str:
+        return _eval_key(self.spec_keys)
+
+
+def _eval_key(spec_keys: Sequence[str]) -> str:
+    return hashlib.sha256("|".join(spec_keys).encode()).hexdigest()[:16]
+
+
+@dataclass
+class StudyResult:
+    """Everything an exploration produced, ready to render or archive."""
+
+    space: DesignSpace
+    sampler_name: str
+    full_horizon_s: float
+    seed: int
+    evaluations: list[EvaluatedPoint]
+    cache_hits: int
+    cache_misses: int
+    wall_s: float
+
+    # -- derived views ------------------------------------------------------
+
+    def full_evaluations(self) -> list[EvaluatedPoint]:
+        return [e for e in self.evaluations if e.is_full and e.objectives is not None]
+
+    def frontier(self) -> list[EvaluatedPoint]:
+        """Non-dominated full-horizon evaluations (the study's answer)."""
+        full = self.full_evaluations()
+        return [full[i] for i in pareto_indices([e.objectives for e in full])]
+
+    def ref_point(self) -> Optional[tuple[float, ...]]:
+        full = self.full_evaluations()
+        if not full:
+            return None
+        return reference_point([e.objectives for e in full])
+
+    def hypervolume(self, ref: Optional[Sequence[float]] = None) -> float:
+        full = self.full_evaluations()
+        if not full:
+            return 0.0
+        if ref is None:
+            ref = self.ref_point()
+        return hypervolume([e.objectives for e in full], ref)
+
+    def full_horizon_simulations(self) -> int:
+        """Simulation count spent at fidelity 1.0 (the grid-cost yardstick)."""
+        return sum(len(e.spec_keys) for e in self.evaluations if e.is_full)
+
+    # -- artifacts -----------------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        ref = self.ref_point()
+        frontier = sorted(self.frontier(), key=lambda e: e.objectives)
+        return {
+            "study": {
+                "version": repro.__version__,
+                "space": self.space.manifest(),
+                "space_key": self.space.key(),
+                "sampler": self.sampler_name,
+                "full_horizon_s": self.full_horizon_s,
+                "seed": self.seed,
+            },
+            "n_evaluations": len(self.evaluations),
+            "n_points": len({e.point.key() for e in self.evaluations}),
+            "full_horizon_simulations": self.full_horizon_simulations(),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "wall_s": round(self.wall_s, 3),
+            "ref_point": list(ref) if ref else None,
+            "hypervolume": self.hypervolume(),
+            "frontier_size": len(frontier),
+            "frontier": [
+                {
+                    "params": e.point.as_dict(),
+                    "perf_cost": e.objectives[0],
+                    "energy_mj": e.objectives[1],
+                    "area_mm2": e.point.topology().area_mm2(),
+                    "workloads": e.workloads,
+                }
+                for e in frontier
+            ],
+            "points": [
+                {
+                    "key": e.point.key(),
+                    "params": e.point.as_dict(),
+                    "fidelity": e.fidelity,
+                    "objectives": list(e.objectives) if e.objectives else None,
+                }
+                for e in self.evaluations
+            ],
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        from repro.core.report import render_table
+
+        rows = []
+        for e in sorted(self.frontier(), key=lambda e: e.objectives):
+            t = e.point.topology()
+            rows.append([
+                t.core_config().label(),
+                f"{t.little_max_khz // 1000}/{t.big_max_khz // 1000}",
+                e.point.scheduler_config().name,
+                f"{t.area_mm2():.1f}",
+                f"{e.objectives[0]:.3f}",
+                f"{e.objectives[1]:.0f}",
+            ])
+        return render_table(
+            ["cores", "MHz L/B", "scheduler", "mm2", "perf cost (s)", "energy (mJ)"],
+            rows,
+            title=(
+                f"Pareto frontier: {len(rows)} of "
+                f"{len(self.full_evaluations())} full-horizon points "
+                f"({self.sampler_name} sampler, "
+                f"{self.full_horizon_simulations()} full-horizon sims, "
+                f"hv {self.hypervolume():.4g}, {self.wall_s:.1f}s wall)"
+            ),
+        )
+
+
+class ExploreStudy:
+    """Drives one exploration: sampler batches -> runner -> objectives.
+
+    Args:
+        space: the feasible region to search.
+        sampler: batch strategy (grid / random / adaptive).
+        runner: a configured :class:`BatchRunner`; attach a cache for
+            cross-study resumability.
+        full_horizon_s: simulated seconds of a fidelity-1.0 run; a
+            rung's horizon is ``fidelity * full_horizon_s`` (floored at
+            0.1 s so every run simulates something).
+        seed: RNG seed shared by every lowered spec.
+        checkpoint_path: optional JSONL evaluation journal for
+            runner-free resume.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        sampler: Sampler,
+        runner: Optional[BatchRunner] = None,
+        full_horizon_s: float = 8.0,
+        seed: int = 0,
+        checkpoint_path: Optional[str] = None,
+    ):
+        if full_horizon_s <= 0:
+            raise ValueError(f"full_horizon_s must be positive, got {full_horizon_s}")
+        self.space = space
+        self.sampler = sampler
+        self.runner = runner if runner is not None else BatchRunner(workers=1)
+        self.full_horizon_s = full_horizon_s
+        self.seed = seed
+        self.checkpoint_path = checkpoint_path
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _study_header(self) -> dict[str, Any]:
+        return {
+            "type": "study",
+            "version": repro.__version__,
+            "space_key": self.space.key(),
+            "full_horizon_s": self.full_horizon_s,
+            "seed": self.seed,
+        }
+
+    def _load_checkpoint(self) -> dict[str, dict[str, Any]]:
+        """Replayable evaluation records keyed by spec-hash eval key.
+
+        A missing file, an unreadable line, or a header minted by a
+        different study/space/version yields an empty map — the study
+        then rebuilds the file from scratch.
+        """
+        path = self.checkpoint_path
+        if not path or not os.path.isfile(path):
+            return {}
+        header = self._study_header()
+        records: dict[str, dict[str, Any]] = {}
+        try:
+            with open(path) as fh:
+                first = fh.readline()
+                if not first or json.loads(first) != header:
+                    log.warning(
+                        "checkpoint %s belongs to a different study; starting over",
+                        path,
+                    )
+                    return {}
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    rec = json.loads(line)
+                    if rec.get("type") == "eval" and "key" in rec:
+                        records[rec["key"]] = rec
+        except (OSError, ValueError):
+            log.warning("checkpoint %s is unreadable; starting over", path)
+            return {}
+        return records
+
+    def _open_checkpoint(self, resumed: dict[str, dict[str, Any]]):
+        if not self.checkpoint_path:
+            return None
+        mode = "a" if resumed else "w"
+        fh = open(self.checkpoint_path, mode)
+        if not resumed:
+            fh.write(json.dumps(self._study_header(), sort_keys=True) + "\n")
+            fh.flush()
+        return fh
+
+    # -- execution -----------------------------------------------------------
+
+    def _horizon(self, fidelity: float) -> float:
+        return max(0.1, round(self.full_horizon_s * fidelity, 3))
+
+    def _evaluate_batch(
+        self,
+        batch: Sequence[Evaluation],
+        replay: dict[str, dict[str, Any]],
+        checkpoint_fh,
+    ) -> tuple[list[EvaluatedPoint], int, int]:
+        """Run one sampler batch; returns (evaluations, hits, misses)."""
+        lowered: list[tuple[Evaluation, list, str]] = []
+        for ev in batch:
+            specs = lower_point(
+                ev.point, max_seconds=self._horizon(ev.fidelity), seed=self.seed
+            )
+            lowered.append((ev, specs, _eval_key([s.key() for s in specs])))
+
+        to_run = [(ev, specs, key) for ev, specs, key in lowered if key not in replay]
+        flat_specs = [s for _, specs, _ in to_run for s in specs]
+        results: list[Optional[RunResult]] = []
+        hits = misses = 0
+        if flat_specs:
+            report = self.runner.run(flat_specs)
+            results = report.results
+            hits, misses = report.cache_hits, report.cache_misses
+
+        evaluations: list[EvaluatedPoint] = []
+        cursor = 0
+        fresh = {key: None for _, _, key in to_run}
+        for ev, specs, key in lowered:
+            if key in replay and key not in fresh:
+                rec = replay[key]
+                evaluations.append(EvaluatedPoint(
+                    point=ev.point,
+                    fidelity=ev.fidelity,
+                    objectives=tuple(rec["objectives"]) if rec["objectives"] else None,
+                    spec_keys=list(rec["spec_keys"]),
+                    workloads=rec.get("workloads", {}),
+                    from_checkpoint=True,
+                ))
+                continue
+            chunk = results[cursor:cursor + len(specs)]
+            cursor += len(specs)
+            ok = [r for r in chunk if r is not None]
+            objectives = point_objectives(ok) if len(ok) == len(specs) else None
+            evaluated = EvaluatedPoint(
+                point=ev.point,
+                fidelity=ev.fidelity,
+                objectives=objectives,
+                spec_keys=[s.key() for s in specs],
+                workloads={
+                    r.workload: {
+                        "metric": r.metric,
+                        "value": r.performance_value(),
+                        "avg_power_mw": r.avg_power_mw,
+                        "energy_mj": r.energy_mj,
+                    }
+                    for r in ok
+                },
+            )
+            evaluations.append(evaluated)
+            rec = {
+                "type": "eval",
+                "key": key,
+                "point": ev.point.as_dict(),
+                "fidelity": ev.fidelity,
+                "objectives": list(objectives) if objectives else None,
+                "spec_keys": evaluated.spec_keys,
+                "workloads": evaluated.workloads,
+            }
+            replay[key] = rec
+            if checkpoint_fh is not None:
+                checkpoint_fh.write(json.dumps(rec, sort_keys=True) + "\n")
+                checkpoint_fh.flush()
+        return evaluations, hits, misses
+
+    def run(self) -> StudyResult:
+        import time
+
+        points = self.space.feasible_points()
+        if not points:
+            raise ValueError("design space has no feasible points under the budget")
+        log.info(
+            "explore: %d feasible points (%d cartesian), sampler=%s, horizon=%.2fs",
+            len(points), self.space.size(), self.sampler.name, self.full_horizon_s,
+        )
+        replay = self._load_checkpoint()
+        checkpoint_fh = self._open_checkpoint(replay)
+        reg = global_metrics()
+        evaluations: list[EvaluatedPoint] = []
+        cache_hits = cache_misses = 0
+        t0 = time.monotonic()
+        try:
+            self.sampler.start(points)
+            while True:
+                batch = self.sampler.next_batch()
+                if not batch:
+                    break
+                batch_evals, hits, misses = self._evaluate_batch(
+                    batch, replay, checkpoint_fh
+                )
+                cache_hits += hits
+                cache_misses += misses
+                evaluations.extend(batch_evals)
+                self.sampler.observe([
+                    ObservedPoint(
+                        evaluation=Evaluation(e.point, e.fidelity),
+                        objectives=e.objectives,
+                    )
+                    for e in batch_evals
+                ])
+                reg.counter("explore.points").inc(len(batch_evals))
+                full = [
+                    e.objectives
+                    for e in evaluations
+                    if e.is_full and e.objectives is not None
+                ]
+                frontier_size = len(pareto_indices(full)) if full else 0
+                hv = hypervolume(full, reference_point(full)) if full else 0.0
+                reg.gauge("explore.frontier_size").set(frontier_size)
+                reg.gauge("explore.hypervolume").set(hv)
+                log.info(
+                    "explore: batch of %d done (%d evals total, "
+                    "frontier %d, hv %.4g)",
+                    len(batch), len(evaluations), frontier_size, hv,
+                )
+        finally:
+            if checkpoint_fh is not None:
+                checkpoint_fh.close()
+        return StudyResult(
+            space=self.space,
+            sampler_name=self.sampler.name,
+            full_horizon_s=self.full_horizon_s,
+            seed=self.seed,
+            evaluations=evaluations,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            wall_s=time.monotonic() - t0,
+        )

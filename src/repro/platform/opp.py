@@ -53,6 +53,16 @@ class OPPTable:
         lo, hi = self.min_khz, self.max_khz
         return f"OPPTable({len(self)} points, {lo}-{hi} kHz)"
 
+    def to_jsonable(self) -> list[list[float]]:
+        """Full ``[freq_khz, voltage_v]`` point list.
+
+        Consumed by :func:`repro.experiments.serialize.to_jsonable` so
+        an inline chip's content hash covers every operating point —
+        two tables that differ only in a voltage or an interior step
+        must hash differently.
+        """
+        return [[p.freq_khz, p.voltage_v] for p in self._opps]
+
     @property
     def frequencies_khz(self) -> tuple[int, ...]:
         return self._freqs

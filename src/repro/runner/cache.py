@@ -200,3 +200,57 @@ class ResultCache:
         entry = self.entry_dir(spec)
         if os.path.isdir(entry):
             shutil.rmtree(entry)
+
+    # -- garbage collection -------------------------------------------------
+
+    def disk_stats(self) -> dict[str, dict[str, int]]:
+        """Per-version on-disk footprint: ``{version: {entries, bytes}}``.
+
+        Scans the cache root without touching entry contents; versions
+        are the first-level directories (one per ``repro.__version__``
+        that ever wrote here).  Temp directories from in-flight writes
+        (``.tmp-*``) are ignored.
+        """
+        stats: dict[str, dict[str, int]] = {}
+        try:
+            versions = sorted(os.listdir(self.root))
+        except OSError:
+            return stats
+        for version in versions:
+            vdir = os.path.join(self.root, version)
+            if version.startswith(".") or not os.path.isdir(vdir):
+                continue
+            entries = 0
+            nbytes = 0
+            try:
+                with os.scandir(vdir) as it:
+                    for entry in it:
+                        if not entry.is_dir() or entry.name.startswith(".tmp-"):
+                            continue
+                        entries += 1
+                        nbytes += _dir_nbytes(entry.path)
+            except OSError:
+                continue
+            stats[version] = {"entries": entries, "bytes": nbytes}
+        return stats
+
+    def prune_versions(self, keep: Optional[set[str]] = None) -> tuple[int, int]:
+        """Drop every version directory not in ``keep`` (default: current).
+
+        The user-facing GC behind ``biglittle cache --prune``: a version
+        bump invalidates old entries wholesale but nothing deleted them
+        until now — thousand-point explore studies would otherwise
+        accrete a dead tree per release.  Returns
+        ``(entries_removed, bytes_removed)``.
+        """
+        if keep is None:
+            keep = {self.version}
+        removed_entries = 0
+        removed_bytes = 0
+        for version, stat in self.disk_stats().items():
+            if version in keep:
+                continue
+            shutil.rmtree(os.path.join(self.root, version), ignore_errors=True)
+            removed_entries += stat["entries"]
+            removed_bytes += stat["bytes"]
+        return removed_entries, removed_bytes

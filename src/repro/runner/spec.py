@@ -108,6 +108,17 @@ def resolve_chip(chip: Union[str, ChipSpec]) -> ChipSpec:
 # RunSpec
 # ---------------------------------------------------------------------------
 
+#: Longest label component kept verbatim; anything longer is truncated
+#: to a prefix plus a short content hash (see :meth:`RunSpec.label`).
+LABEL_COMPONENT_MAX = 36
+
+
+def _label_component(text: str) -> str:
+    if len(text) <= LABEL_COMPONENT_MAX:
+        return text
+    digest = hashlib.sha256(text.encode()).hexdigest()[:6]
+    return f"{text[: LABEL_COMPONENT_MAX - 7]}~{digest}"
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -198,12 +209,23 @@ class RunSpec:
         return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
     def label(self) -> str:
-        """Short human-readable identity for logs and progress lines."""
-        parts = [self.workload]
+        """Short human-readable identity for logs and progress lines.
+
+        Bounded regardless of how elaborate the spec is: any component
+        longer than :data:`LABEL_COMPONENT_MAX` (sweep-generated
+        scheduler names, parameter-stuffed chip names) is truncated to
+        a prefix plus a 6-hex content hash, so thousand-point explore
+        studies keep one-line progress events one line.  An inline
+        chip contributes its (truncated) name — two specs differing
+        only in topology must not share a label.
+        """
+        parts = [_label_component(self.workload)]
+        if isinstance(self.chip, ChipSpec):
+            parts.append(_label_component(self.chip.name))
         if self.core_config:
-            parts.append(self.core_config)
+            parts.append(_label_component(self.core_config))
         if self.scheduler.name != "baseline":
-            parts.append(self.scheduler.name)
+            parts.append(_label_component(self.scheduler.name))
         parts.append(f"s{self.seed}")
         return "/".join(parts)
 

@@ -163,3 +163,67 @@ class TestCommands:
         rc = main(["observe", "video-player", "--max-seconds", "1"])
         assert rc == 0
         assert "Migrations" in capsys.readouterr().out
+
+
+class TestExploreCommand:
+    def test_explore_parses_options(self):
+        args = build_parser().parse_args([
+            "explore", "--workloads", "browser", "--axis", "big_cores=0,2",
+            "--sampler", "grid", "--horizon", "2.0", "--area-mm2", "18",
+            "--max-points", "16", "--checkpoint", "c.jsonl", "--json", "f.json",
+        ])
+        assert args.command == "explore"
+        assert args.axis == ["big_cores=0,2"]
+        assert args.sampler == "grid"
+        assert args.horizon == 2.0
+        assert args.area_mm2 == 18.0
+
+    def test_explore_rejects_unknown_sampler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--sampler", "annealing"])
+
+    def test_explore_rejects_unknown_axis(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "explore", "--axis", "ring_oscillators=1,2",
+                "--cache-dir", str(tmp_path),
+            ])
+
+    def test_explore_tiny_grid_end_to_end(self, capsys, tmp_path):
+        import json
+
+        artifact = tmp_path / "frontier.json"
+        rc = main([
+            "explore", "--workloads", "browser",
+            "--axis", "little_cores=2", "--axis", "big_cores=0,1",
+            "--sampler", "grid", "--horizon", "0.4", "--workers", "1",
+            "--cache-dir", str(tmp_path / "cache"), "--json", str(artifact),
+        ])
+        assert rc == 0
+        assert "Pareto frontier" in capsys.readouterr().out
+        payload = json.loads(artifact.read_text())
+        assert payload["frontier"]
+        assert payload["n_evaluations"] == 2
+
+
+class TestCacheCommand:
+    def test_cache_parses_flags(self):
+        args = build_parser().parse_args(["cache", "--stats", "--prune"])
+        assert args.command == "cache"
+        assert args.stats and args.prune
+
+    def test_cache_reports_and_prunes_stale_versions(self, capsys, tmp_path):
+        stale = tmp_path / "0.0.0-old" / "deadbeef"
+        stale.mkdir(parents=True)
+        (stale / "result.json").write_text("{}")
+
+        rc = main(["cache", "--stats", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0.0.0-old" in out and "stale" in out
+        assert "this process:" in out
+
+        rc = main(["cache", "--prune", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert "pruned 1 entries" in capsys.readouterr().out
+        assert not (tmp_path / "0.0.0-old").exists()

@@ -1,0 +1,157 @@
+"""Property tests for :mod:`repro.explore.pareto`.
+
+The frontier math underpins both the study artifact and the adaptive
+sampler's promotion order, so the invariants are pinned with hypothesis
+rather than hand-picked examples: mutual non-domination, dominated
+exclusion, permutation/duplication invariance, and hypervolume
+monotonicity.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore.pareto import (
+    dominates,
+    hypervolume,
+    pareto_front,
+    pareto_indices,
+    pareto_rank_order,
+    reference_point,
+)
+
+# Small finite grid of coordinates: collisions (and therefore duplicate
+# and partially-tied vectors) are common, which is exactly where naive
+# frontier implementations go wrong.
+coord = st.integers(min_value=0, max_value=8).map(float)
+vec2 = st.tuples(coord, coord)
+points2 = st.lists(vec2, min_size=1, max_size=40)
+
+
+class TestDominates:
+    def test_strict_in_one_component(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+        assert dominates((0.5, 3.0), (1.0, 3.0))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_incomparable(self):
+        assert not dominates((0.0, 5.0), (5.0, 0.0))
+        assert not dominates((5.0, 0.0), (0.0, 5.0))
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+    @given(a=vec2, b=vec2)
+    def test_antisymmetric(self, a, b):
+        assert not (dominates(a, b) and dominates(b, a))
+
+
+class TestParetoIndices:
+    @given(pts=points2)
+    def test_members_mutually_non_dominated(self, pts):
+        front = pareto_indices(pts)
+        for i in front:
+            for j in front:
+                assert not dominates(pts[i], pts[j])
+
+    @given(pts=points2)
+    def test_non_members_dominated_by_some_member(self, pts):
+        front = set(pareto_indices(pts))
+        assert front, "a non-empty point set always has a frontier"
+        for i in range(len(pts)):
+            if i in front:
+                continue
+            assert any(dominates(pts[j], pts[i]) for j in front), (
+                f"point {pts[i]} excluded but undominated"
+            )
+
+    @given(pts=points2, seed=st.integers(min_value=0, max_value=2**16))
+    def test_front_invariant_under_permutation(self, pts, seed):
+        from random import Random
+
+        shuffled = list(pts)
+        Random(seed).shuffle(shuffled)
+        assert pareto_front(shuffled) == pareto_front(pts)
+
+    @given(pts=points2)
+    def test_front_invariant_under_duplication(self, pts):
+        assert pareto_front(pts + pts) == pareto_front(pts)
+
+    @given(pts=points2)
+    def test_duplicated_frontier_vectors_all_kept(self, pts):
+        doubled = pts + pts
+        kept = {tuple(doubled[i]) for i in pareto_indices(doubled)}
+        for v in pareto_front(pts):
+            n = sum(1 for i in pareto_indices(doubled) if tuple(doubled[i]) == v)
+            assert n == 2 * pts.count(v)
+        assert kept == set(pareto_front(pts))
+
+    @given(pts=st.lists(st.tuples(coord, coord, coord), min_size=1, max_size=15))
+    def test_quadratic_fallback_matches_contract(self, pts):
+        """3-objective inputs exercise the generic (non-sweep) path."""
+        front = set(pareto_indices(pts))
+        for i in range(len(pts)):
+            if i in front:
+                assert not any(dominates(pts[j], pts[i]) for j in front)
+            else:
+                assert any(dominates(pts[j], pts[i]) for j in front)
+
+
+class TestParetoRankOrder:
+    @given(pts=points2)
+    def test_is_permutation(self, pts):
+        order = pareto_rank_order(pts)
+        assert sorted(order) == list(range(len(pts)))
+
+    @given(pts=points2)
+    def test_first_front_is_prefix(self, pts):
+        order = pareto_rank_order(pts)
+        front = set(pareto_indices(pts))
+        assert set(order[: len(front)]) == front
+
+
+class TestHypervolume:
+    @given(pts=points2)
+    def test_non_negative_and_bounded(self, pts):
+        ref = reference_point(pts)
+        hv = hypervolume(pts, ref)
+        assert hv >= 0.0
+        assert hv <= ref[0] * ref[1] + 1e-9
+
+    @given(pts=points2, extra=vec2)
+    def test_monotone_under_added_point(self, pts, extra):
+        ref = reference_point(pts + [extra])
+        assert hypervolume(pts + [extra], ref) >= hypervolume(pts, ref) - 1e-9
+
+    @given(pts=points2)
+    def test_only_frontier_contributes(self, pts):
+        ref = reference_point(pts)
+        front = [pts[i] for i in pareto_indices(pts)]
+        assert hypervolume(pts, ref) == pytest.approx(hypervolume(front, ref))
+
+    def test_single_point_rectangle(self):
+        assert hypervolume([(1.0, 1.0)], (3.0, 4.0)) == pytest.approx(6.0)
+
+    def test_point_outside_ref_contributes_nothing(self):
+        assert hypervolume([(5.0, 5.0)], (3.0, 3.0)) == 0.0
+
+    def test_non_2d_ref_raises(self):
+        with pytest.raises(ValueError):
+            hypervolume([(1.0, 1.0)], (1.0, 1.0, 1.0))
+
+
+class TestReferencePoint:
+    @given(pts=points2)
+    def test_weakly_dominated_by_every_point(self, pts):
+        ref = reference_point(pts)
+        for p in pts:
+            assert p[0] < ref[0] and p[1] < ref[1]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            reference_point([])

@@ -1,0 +1,208 @@
+"""Tests for :mod:`repro.explore.space` — axes, budgets, and the
+deterministic ``DesignPoint -> RunSpec`` lowering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore.space import (
+    AXIS_DEFAULTS,
+    BIG_CORE_MM2,
+    L2_MM2_PER_KB,
+    LITTLE_CORE_MM2,
+    Budget,
+    DesignPoint,
+    DesignSpace,
+    TopologyParams,
+    lower_point,
+    reference_space,
+)
+from repro.runner.spec import LABEL_COMPONENT_MAX
+
+
+class TestTopologyParams:
+    def test_defaults_are_the_paper_chip(self):
+        t = TopologyParams()
+        assert (t.little_cores, t.big_cores) == (4, 4)
+        assert t.chip_spec().name.startswith("dse-L4x1300")
+        assert t.core_config().label() == "L4+B4"
+
+    def test_area_is_cores_plus_l2(self):
+        t = TopologyParams()
+        expected = (
+            4 * LITTLE_CORE_MM2 + 512 * L2_MM2_PER_KB
+            + 4 * BIG_CORE_MM2 + 2048 * L2_MM2_PER_KB
+        )
+        assert t.area_mm2() == pytest.approx(expected)
+
+    def test_disabled_cluster_contributes_no_area(self):
+        little_only = TopologyParams(big_cores=0)
+        assert little_only.area_mm2() == pytest.approx(
+            4 * LITTLE_CORE_MM2 + 512 * L2_MM2_PER_KB
+        )
+
+    def test_zero_core_cluster_lowers_to_valid_chip(self):
+        t = TopologyParams(big_cores=0)
+        chip = t.chip_spec()
+        assert chip.big_cluster.num_cores == 1  # physical floor
+        assert t.core_config().big == 0  # but disabled
+
+    def test_needs_at_least_one_core(self):
+        with pytest.raises(ValueError):
+            TopologyParams(little_cores=0, big_cores=0)
+
+    def test_opp_truncation_preserves_curve(self):
+        t = TopologyParams(big_max_khz=1_400_000)
+        table = t.chip_spec().big_cluster.opp_table
+        assert table.max_khz <= 1_400_000
+        full = TopologyParams().chip_spec().big_cluster.opp_table
+        assert table.voltage_at(table.max_khz) == full.voltage_at(table.max_khz)
+
+    def test_truncation_below_table_raises(self):
+        with pytest.raises(ValueError):
+            TopologyParams(big_max_khz=1_000).chip_spec()
+
+    def test_peak_power_scales_with_cores_and_frequency(self):
+        base = TopologyParams()
+        fewer = TopologyParams(big_cores=2)
+        slower = TopologyParams(big_max_khz=1_400_000)
+        assert fewer.peak_power_mw() < base.peak_power_mw()
+        assert slower.peak_power_mw() < base.peak_power_mw()
+
+
+class TestBudget:
+    def test_area_bound(self):
+        assert Budget(max_area_mm2=21.0).admits(TopologyParams())
+        assert not Budget(max_area_mm2=19.0).admits(TopologyParams())
+
+    def test_power_bound(self):
+        tight = Budget(max_power_mw=1.0)
+        assert not tight.admits(TopologyParams())
+        assert Budget(max_power_mw=1e9).admits(TopologyParams())
+
+    def test_none_disables_bound(self):
+        assert Budget().admits(TopologyParams(big_cores=16))
+
+
+class TestDesignPoint:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(KeyError, match="unknown design axes"):
+            DesignPoint.from_mapping({"ring_oscillators": 3})
+
+    def test_defaults_fill_missing_axes(self):
+        p = DesignPoint.from_mapping({"big_cores": 2})
+        assert p.get("big_cores") == 2
+        assert p.get("little_cores") == AXIS_DEFAULTS["little_cores"]
+
+    def test_workload_string_normalized_to_tuple(self):
+        p = DesignPoint.from_mapping({"workloads": "browser"})
+        assert p.workloads() == ("browser",)
+
+    def test_key_is_stable_and_content_addressed(self):
+        a = DesignPoint.from_mapping({"big_cores": 2})
+        b = DesignPoint.from_mapping({"big_cores": 2})
+        c = DesignPoint.from_mapping({"big_cores": 4})
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+
+    def test_scheduler_config_name_encodes_params(self):
+        p = DesignPoint.from_mapping({"hmp_up": 550, "gov_target_load": 0.6})
+        cfg = p.scheduler_config()
+        assert cfg.name == "dse-u550-d256-w32-i20-t60-h80-f80"
+        assert cfg.hmp.up_threshold == 550
+        assert cfg.governor.target_load == pytest.approx(0.6)
+
+
+class TestDesignSpace:
+    def test_size_is_cartesian_product(self):
+        space = DesignSpace({"big_cores": (0, 2, 4), "hmp_up": (550, 700)})
+        assert space.size() == 6
+
+    def test_budget_filters_points(self):
+        space = DesignSpace(
+            {"big_cores": (0, 2, 8)}, budget=Budget(max_area_mm2=17.0)
+        )
+        counts = {p.get("big_cores") for p in space.points()}
+        assert counts == {0, 2}  # 8 big cores blow the area budget
+
+    def test_invalid_scheduler_combos_skipped(self):
+        space = DesignSpace({"hmp_up": (100, 700)})  # 100 <= down=256
+        assert [p.get("hmp_up") for p in space.points()] == [700]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace({"big_cores": ()})
+
+    def test_key_tracks_budget_and_axes(self):
+        a = DesignSpace({"big_cores": (0, 2)})
+        b = DesignSpace({"big_cores": (0, 2)}, budget=Budget(max_area_mm2=15.0))
+        c = DesignSpace({"big_cores": (0, 4)})
+        assert a.key() != b.key()
+        assert a.key() != c.key()
+        assert a.key() == DesignSpace({"big_cores": (0, 2)}).key()
+
+
+class TestReferenceSpace:
+    def test_scale_and_budget(self):
+        space = reference_space(workloads=("browser",))
+        points = space.feasible_points()
+        assert space.size() == 320
+        assert len(points) == 256
+
+    def test_paper_pick_is_feasible_but_six_big_is_not(self):
+        space = reference_space(workloads=("browser",))
+        configs = {
+            (p.get("little_cores"), p.get("big_cores")) for p in space.points()
+        }
+        assert (4, 4) in configs  # the paper's Exynos 5422 topology
+        assert not any(big == 6 for _, big in configs)
+
+
+class TestLowering:
+    def test_one_spec_per_workload(self):
+        p = DesignPoint.from_mapping({"workloads": ("browser", "pdf-reader")})
+        specs = lower_point(p, max_seconds=2.0)
+        assert [s.workload for s in specs] == ["browser", "pdf-reader"]
+
+    def test_specs_ship_no_traces(self):
+        (spec,) = lower_point(
+            DesignPoint.from_mapping({"workloads": "browser"}), max_seconds=2.0
+        )
+        assert spec.trace_policy == "none"
+        assert "power_summary" in spec.reductions
+
+    def test_lowering_is_deterministic(self):
+        p = DesignPoint.from_mapping({"big_cores": 2, "workloads": "browser"})
+        keys_a = [s.key() for s in lower_point(p, max_seconds=2.0)]
+        keys_b = [s.key() for s in lower_point(p, max_seconds=2.0)]
+        assert keys_a == keys_b
+
+    def test_distinct_points_get_distinct_keys(self):
+        base = {"workloads": "browser"}
+        keys = set()
+        for override in (
+            {},
+            {"big_cores": 2},
+            {"big_max_khz": 1_400_000},  # exercises OPPTable content hashing
+            {"big_l2_kb": 1024},
+            {"hmp_up": 550},
+            {"gov_target_load": 0.6},
+        ):
+            p = DesignPoint.from_mapping({**base, **override})
+            (spec,) = lower_point(p, max_seconds=2.0)
+            keys.add(spec.key())
+        assert len(keys) == 6
+
+    def test_fidelity_changes_the_key(self):
+        p = DesignPoint.from_mapping({"workloads": "browser"})
+        (short,) = lower_point(p, max_seconds=1.0)
+        (full,) = lower_point(p, max_seconds=2.0)
+        assert short.key() != full.key()
+
+    def test_labels_stay_bounded(self):
+        p = DesignPoint.from_mapping(
+            {"big_max_khz": 1_400_000, "hmp_up": 550, "workloads": "browser"}
+        )
+        (spec,) = lower_point(p, max_seconds=2.0)
+        for component in spec.label().split("/"):
+            assert len(component) <= LABEL_COMPONENT_MAX
