@@ -24,6 +24,10 @@ Scenario families:
   three trace policies (``full`` / ``rle`` / ``none``), measuring the
   result pipeline itself — worker→parent bytes, cache footprint, warm
   reload, peak worker RSS — rather than the tick engine.
+- *sweep-lockstep*: a 64-variant interactive-governor sweep executed
+  per-run vs as one lockstep cohort through the batched engine
+  (``repro.sim.batchengine``) with witness-certified sweep folding
+  (``repro.runner.sweepfold``), cross-checked for identical scalars.
 
 ``--compare OLD.json`` prints per-scenario deltas against a previously
 written results file (CI runs it against the committed
@@ -254,6 +258,85 @@ def bench_batch_transport(quick: bool, sim_seconds: float | None = None):
 
 
 # ---------------------------------------------------------------------------
+# sweep-lockstep scenario: batched lockstep engine vs per-run execution
+# ---------------------------------------------------------------------------
+
+_SWEEP_VARIANTS = 64
+
+
+def _sweep_specs(sim_seconds: float):
+    from dataclasses import replace as dc_replace
+
+    from repro.runner import RunSpec
+    from repro.sched.params import baseline_config
+
+    # A 64-variant interactive-governor sweep of one app: hold_ms
+    # (the governor's min_sample_time, explore's ``gov_hold_ms`` axis)
+    # at 2 ms resolution around the 80 ms baseline.  Every variant
+    # shares the workload, chip, and horizon, so the grid forms one
+    # lockstep cohort — and hold_ms is comparison-only, so the sweep
+    # folds onto witness-certified class representatives
+    # (:mod:`repro.runner.sweepfold`) on top of lockstep execution.
+    base = baseline_config()
+    specs = []
+    for hold in range(34, 34 + 2 * _SWEEP_VARIANTS, 2):
+        sched = dc_replace(
+            base,
+            name=f"gov-hold-{hold}",
+            governor=dc_replace(base.governor, hold_ms=hold),
+        )
+        specs.append(
+            RunSpec(
+                "pdf-reader", scheduler=sched, seed=7,
+                max_seconds=sim_seconds, trace_policy="none",
+                reductions=("power_summary",),
+            )
+        )
+    return specs
+
+
+def bench_sweep_lockstep(quick: bool):
+    """Time a 64-variant sweep per-run vs through one lockstep cohort.
+
+    Both passes use a serial single-worker runner with no cache, so the
+    comparison isolates the batch engine itself: per-run pays the full
+    per-variant tick loop; batched advances all variants in one
+    ``BatchSimulator``.  Scalars are cross-checked so the speedup is
+    only reported for bit-identical results.
+    """
+    from repro.runner import BatchRunner
+
+    sim_seconds = 1.0 if quick else 4.0
+    specs = _sweep_specs(sim_seconds)
+
+    t0 = time.monotonic()
+    per_run = BatchRunner(workers=1, cohorts=False).run(specs)
+    per_run.raise_on_failure()
+    per_run_s = time.monotonic() - t0
+
+    t0 = time.monotonic()
+    batched = BatchRunner(workers=1, cohorts=True).run(specs)
+    batched.raise_on_failure()
+    batched_s = time.monotonic() - t0
+
+    mismatches = sum(
+        1 for a, b in zip(per_run.results, batched.results)
+        if a.scalars() != b.scalars()
+    )
+    n = len(specs)
+    return {
+        "n_variants": n,
+        "sim_seconds": sim_seconds,
+        "per_run_wall_s": per_run_s,
+        "batched_wall_s": batched_s,
+        "speedup": per_run_s / batched_s if batched_s > 0 else float("inf"),
+        "per_run_variants_per_sec": n / per_run_s if per_run_s > 0 else float("inf"),
+        "batched_variants_per_sec": n / batched_s if batched_s > 0 else float("inf"),
+        "scalar_mismatches": mismatches,
+    }
+
+
+# ---------------------------------------------------------------------------
 # explore-small scenario: design-space exploration throughput
 # ---------------------------------------------------------------------------
 
@@ -281,7 +364,7 @@ def bench_explore_small(quick: bool):
     def run_study(cache):
         study = ExploreStudy(
             space, GridSampler(),
-            runner=BatchRunner(workers=2, cache=cache),
+            runner=BatchRunner(workers=2, cache=cache, cohorts=True),
             full_horizon_s=horizon_s,
         )
         return study.run()
@@ -390,6 +473,16 @@ def main(argv=None) -> int:
               f"{row['bytes_reduction_vs_full']:>10.0f}x "
               f"{row['peak_worker_rss_kb'] / 1024:>8.0f}")
 
+    sweep = bench_sweep_lockstep(args.quick)
+    print(f"\nsweep-lockstep ({sweep['n_variants']} variants x "
+          f"{sweep['sim_seconds']:.0f}s sim, serial runner): "
+          f"per-run {sweep['per_run_wall_s']:.2f}s "
+          f"({sweep['per_run_variants_per_sec']:.1f} var/s), "
+          f"batched {sweep['batched_wall_s']:.2f}s "
+          f"({sweep['batched_variants_per_sec']:.1f} var/s), "
+          f"speedup {sweep['speedup']:.2f}x, "
+          f"mismatches {sweep['scalar_mismatches']}")
+
     explore = bench_explore_small(args.quick)
     print(f"\nexplore-small ({explore['n_points']} points x "
           f"{explore['full_horizon_s']:.0f}s horizon, grid sampler): "
@@ -409,6 +502,7 @@ def main(argv=None) -> int:
             "repeats": args.repeats,
             "scenarios": rows,
             "batch_transport": transport,
+            "sweep_lockstep": sweep,
             "explore_small": explore,
             "best_speedup": best["speedup"],
             "worst_speedup": worst["speedup"],

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Smoke-check the batch engine's lane-accounting invariant.
+
+Runs one mixed lockstep cohort — healthy lanes, an admission-ineligible
+lane (tick hook), and a forced mid-run eviction — against a fresh
+metrics registry and asserts that every admitted lane is accounted for
+exactly once:
+
+    engine.batch.retired + sum(engine.batch.evictions.*) == engine.batch.lanes
+
+CI runs this next to the engine benchmark as a non-blocking trend
+check; exit status is non-zero on violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_batch_metrics.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.batchengine import BatchSimulator
+from repro.sim.engine import SimConfig, Simulator
+from repro.workloads.mobile import make_app
+
+
+def _make_sim(app: str, seconds: float = 1.0, seed: int = 7) -> Simulator:
+    sim = Simulator(SimConfig(max_seconds=seconds, seed=seed))
+    make_app(app).install(sim)
+    return sim
+
+
+def main() -> int:
+    registry = MetricsRegistry()
+
+    ineligible = _make_sim("pdf-reader")
+    ineligible.add_tick_hook(lambda s: None)  # rejected at admission
+    sims = [
+        ineligible,
+        _make_sim("bbench"),      # forced out mid-run (below)
+        _make_sim("browser"),
+        _make_sim("video-editor"),
+    ]
+    lanes = BatchSimulator(
+        sims, force_evict_at={1: 200}, metrics=registry
+    ).run()
+
+    snap = registry.snapshot()
+    admitted = snap.counter("engine.batch.lanes")
+    retired = snap.counter("engine.batch.retired")
+    evictions = {
+        name: value
+        for name, value in snap.counters.items()
+        if name.startswith("engine.batch.evictions.")
+    }
+    evicted = sum(evictions.values())
+
+    print(f"lanes={admitted} retired={retired} evicted={evicted}")
+    for name, value in sorted(evictions.items()):
+        print(f"  {name} = {value}")
+    for lane in lanes:
+        print(f"  lane {lane.index}: {lane.status}"
+              + (f" ({lane.cause})" if lane.cause else ""))
+
+    failures = []
+    if admitted != len(sims):
+        failures.append(f"admission count {admitted} != cohort size {len(sims)}")
+    if retired + evicted != admitted:
+        failures.append(
+            f"retired ({retired}) + evicted ({evicted}) != lanes ({admitted})"
+        )
+    if evicted < 2:
+        failures.append("expected the hook and forced evictions to register")
+    if any(sim.tick != sim.max_ticks for sim in sims):
+        failures.append("a lane did not run to completion")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("batch metrics invariant ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -240,7 +240,11 @@ class ExploreStudy:
             raise ValueError(f"full_horizon_s must be positive, got {full_horizon_s}")
         self.space = space
         self.sampler = sampler
-        self.runner = runner if runner is not None else BatchRunner(workers=1)
+        # Default runner batches compatible points into lockstep cohorts
+        # (bit-identical results; REPRO_ENGINE_BATCHED=0 pins per-run).
+        self.runner = (
+            runner if runner is not None else BatchRunner(workers=1, cohorts=True)
+        )
         self.full_horizon_s = full_horizon_s
         self.seed = seed
         self.checkpoint_path = checkpoint_path

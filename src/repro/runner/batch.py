@@ -20,6 +20,14 @@ Fault tolerance:
 - every job gets up to ``retries`` re-executions before it is recorded
   as ``failed``/``timeout`` in the :class:`BatchReport` — one bad job
   never aborts the batch.
+
+Lockstep cohorts (``cohorts=True``): compatible specs — same workload,
+chip, core config, and horizon — are grouped and advanced together by
+one :class:`repro.sim.batchengine.BatchSimulator` per group (one pool
+job per cohort on the parallel path).  Results, ``BatchReport.jobs``
+order and labels, and cache entries are identical to per-run execution;
+any cohort failure falls back to per-run execution of its members with
+their retry budgets intact.
 """
 
 from __future__ import annotations
@@ -68,14 +76,12 @@ def _worker_init() -> None:
     resolve_chip(DEFAULT_CHIP_ID)
 
 
-def _execute_job(
-    spec: RunSpec, timeout_s: Optional[float], in_pool: bool = False
-) -> RunResult:
-    """Execute one spec with an optional in-process alarm timeout.
+def _alarmed(fn, timeout_s: Optional[float], label: str):
+    """Run ``fn()`` under an optional in-process ``SIGALRM`` timeout.
 
-    Module-level so pool workers can unpickle it.  The alarm is only
-    armed in a main thread (workers always are); elsewhere the job runs
-    untimed rather than failing.
+    Module-level machinery shared by single-spec and cohort jobs.  The
+    alarm is only armed in a main thread (workers always are); elsewhere
+    the job runs untimed rather than failing.
 
     Handler hygiene: the previous ``SIGALRM`` disposition is restored
     and the itimer cancelled on **every** exit path — success, job
@@ -91,20 +97,46 @@ def _execute_job(
         and threading.current_thread() is threading.main_thread()
     )
     if not use_alarm:
-        return execute_spec(spec, in_pool=in_pool)
+        return fn()
 
     def _on_alarm(_signum, _frame):  # pragma: no cover - exercised via raise
-        raise JobTimeout(f"job exceeded {timeout_s:.3f}s: {spec.label()}")
+        raise JobTimeout(f"job exceeded {timeout_s:.3f}s: {label}")
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
     try:
         signal.setitimer(signal.ITIMER_REAL, timeout_s)
         try:
-            return execute_spec(spec, in_pool=in_pool)
+            return fn()
         finally:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
     finally:
         signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_job(
+    spec: RunSpec, timeout_s: Optional[float], in_pool: bool = False
+) -> RunResult:
+    """Execute one spec with an optional in-process alarm timeout."""
+    return _alarmed(
+        lambda: execute_spec(spec, in_pool=in_pool), timeout_s, spec.label()
+    )
+
+
+def _execute_cohort_job(
+    specs: list[RunSpec], timeout_s: Optional[float], in_pool: bool = False
+) -> list[RunResult]:
+    """Execute one lockstep cohort, budgeted at ``timeout_s`` per member.
+
+    The cohort does the work of ``len(specs)`` jobs in one process, so
+    its wall-clock budget scales with its size; on timeout (or any
+    other failure) the caller falls back to per-run execution, where
+    each member gets its own ordinary budget.
+    """
+    from repro.runner.cohort import execute_cohort
+
+    budget = timeout_s * len(specs) if timeout_s else timeout_s
+    label = f"cohort[{len(specs)}] {specs[0].label()}"
+    return _alarmed(lambda: execute_cohort(specs, in_pool=in_pool), budget, label)
 
 
 @dataclass
@@ -231,6 +263,13 @@ class BatchRunner:
             recorded as failed.
         on_event: callback receiving every :class:`RunnerEvent`.
         log_path: append structured events to this JSONL file.
+        cohorts: group compatible specs (same workload/chip/cores/
+            horizon — see :func:`repro.runner.cohort.cohort_key`) into
+            lockstep :class:`~repro.sim.batchengine.BatchSimulator`
+            cohorts.  Results, report order, and cache entries are
+            identical to per-run execution; a failing cohort falls back
+            to per-run for its members.  ``REPRO_ENGINE_BATCHED=0``
+            disables grouping regardless of this flag.
     """
 
     def __init__(
@@ -241,6 +280,7 @@ class BatchRunner:
         retries: int = 1,
         on_event: Optional[EventCallback] = None,
         log_path: Optional[str] = None,
+        cohorts: bool = False,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -257,6 +297,7 @@ class BatchRunner:
         self.retries = retries
         self.on_event = on_event
         self.log_path = log_path
+        self.cohorts = cohorts
         self._transport_bytes = 0
         self._shm_bytes = 0
 
@@ -300,10 +341,11 @@ class BatchRunner:
                 else:
                     pending.append(_Job(index=i, spec=spec))
 
+            groups = self._group_pending(pending, sink)
             if serial:
-                self._run_serial(pending, results, records, sink)
+                self._run_serial(groups, results, records, sink)
             elif pending:
-                self._run_parallel(pending, results, records, sink)
+                self._run_parallel(groups, results, records, sink)
 
             wall_s = time.monotonic() - t0
             report = BatchReport(
@@ -334,6 +376,59 @@ class BatchRunner:
         result = report.results[0]
         assert result is not None
         return result
+
+    # -- cohort grouping ----------------------------------------------------
+
+    def _group_pending(
+        self, pending: Sequence[_Job], sink: EventSink
+    ) -> list[list[_Job]]:
+        """Partition pending jobs into execution groups.
+
+        Singleton groups everywhere unless cohort mode is on (and not
+        pinned off via ``REPRO_ENGINE_BATCHED``); grouping preserves
+        submit order within each cohort, and records/results stay keyed
+        by the original spec index either way.
+        """
+        from repro.sim.batchengine import batching_enabled
+
+        if not (self.cohorts and batching_enabled() and len(pending) > 1):
+            return [[job] for job in pending]
+        from repro.runner.cohort import group_indices
+
+        groups = [
+            [pending[i] for i in member_indices]
+            for member_indices in group_indices([job.spec for job in pending])
+        ]
+        for group in groups:
+            if len(group) > 1:
+                sink.emit(
+                    "cohort_start",
+                    extra={
+                        "size": len(group),
+                        "indices": [job.index for job in group],
+                        "label": group[0].spec.label(),
+                    },
+                )
+        return groups
+
+    def _cohort_fallback(
+        self, group: Sequence[_Job], exc: BaseException, sink: EventSink
+    ) -> list[list[_Job]]:
+        """A cohort failed: emit the event, return per-run fallback groups.
+
+        Cohort attempts are not charged against the members' retry
+        budgets — the fallback *is* the graceful-degradation path, so
+        each member still gets its full per-run attempt allowance.
+        """
+        sink.emit(
+            "cohort_fallback",
+            extra={
+                "size": len(group),
+                "indices": [job.index for job in group],
+                "error": repr(exc),
+            },
+        )
+        return [[job] for job in group]
 
     # -- outcome bookkeeping ------------------------------------------------
 
@@ -419,76 +514,133 @@ class BatchRunner:
 
     def _run_serial(
         self,
-        pending: Sequence[_Job],
+        groups: Sequence[Sequence[_Job]],
         results: list[Optional[RunResult]],
         records: list[Optional[JobRecord]],
         sink: EventSink,
     ) -> None:
-        for job in pending:
-            while True:
-                job.attempts += 1
+        for group in groups:
+            if len(group) > 1:
                 attempt_t0 = time.monotonic()
                 try:
-                    result = _execute_job(job.spec, self.timeout_s)
+                    cohort_results = _execute_cohort_job(
+                        [job.spec for job in group], self.timeout_s
+                    )
                 except Exception as exc:
-                    job.duration_s += time.monotonic() - attempt_t0
-                    if self._should_retry(job, exc, sink):
-                        continue
-                    self._finish_failed(job, exc, records, sink)
-                    break
+                    elapsed = time.monotonic() - attempt_t0
+                    for job in group:
+                        job.duration_s += elapsed
+                    self._cohort_fallback(group, exc, sink)
+                    # Fall through to the per-job loop below.
                 else:
-                    job.duration_s += time.monotonic() - attempt_t0
-                    self._finish_ok(job, result, results, records, sink)
-                    break
+                    elapsed = time.monotonic() - attempt_t0
+                    for job, result in zip(group, cohort_results):
+                        job.attempts += 1
+                        job.duration_s += elapsed
+                        self._finish_ok(job, result, results, records, sink)
+                    continue
+            for job in group:
+                while True:
+                    job.attempts += 1
+                    attempt_t0 = time.monotonic()
+                    try:
+                        result = _execute_job(job.spec, self.timeout_s)
+                    except Exception as exc:
+                        job.duration_s += time.monotonic() - attempt_t0
+                        if self._should_retry(job, exc, sink):
+                            continue
+                        self._finish_failed(job, exc, records, sink)
+                        break
+                    else:
+                        job.duration_s += time.monotonic() - attempt_t0
+                        self._finish_ok(job, result, results, records, sink)
+                        break
 
     # -- parallel path ------------------------------------------------------
 
-    def _run_parallel(
+    def _finish_group_ok(
         self,
-        pending: Sequence[_Job],
+        group: Sequence[_Job],
+        payload,
         results: list[Optional[RunResult]],
         records: list[Optional[JobRecord]],
         sink: EventSink,
     ) -> None:
-        todo: list[_Job] = list(pending)
+        """Record a successful group future (cohort list or single result)."""
+        if len(group) > 1:
+            for job, result in zip(group, payload):
+                job.attempts += 1
+                self._finish_ok(job, result, results, records, sink, transported=True)
+        else:
+            self._finish_ok(
+                group[0], payload, results, records, sink, transported=True
+            )
+
+    def _run_parallel(
+        self,
+        groups: Sequence[Sequence[_Job]],
+        results: list[Optional[RunResult]],
+        records: list[Optional[JobRecord]],
+        sink: EventSink,
+    ) -> None:
+        todo: list[list[_Job]] = [list(group) for group in groups]
         while todo:
             max_workers = min(self.workers, len(todo))
-            retry_next: list[_Job] = []
+            retry_next: list[list[_Job]] = []
             submit_t: dict[int, float] = {}
             with ProcessPoolExecutor(
                 max_workers=max_workers, initializer=_worker_init
             ) as pool:
                 futures = {}
-                for job in todo:
-                    job.attempts += 1
-                    submit_t[job.index] = time.monotonic()
-                    futures[
-                        pool.submit(_execute_job, job.spec, self.timeout_s, True)
-                    ] = job
+                for group in todo:
+                    submit_now = time.monotonic()
+                    for job in group:
+                        submit_t[job.index] = submit_now
+                    if len(group) > 1:
+                        # Cohort attempts are charged on completion, not
+                        # here — a failing cohort falls back per-run with
+                        # the members' retry budgets untouched.
+                        fut = pool.submit(
+                            _execute_cohort_job,
+                            [job.spec for job in group],
+                            self.timeout_s,
+                            True,
+                        )
+                    else:
+                        group[0].attempts += 1
+                        fut = pool.submit(
+                            _execute_job, group[0].spec, self.timeout_s, True
+                        )
+                    futures[fut] = group
                 broken = False
                 settled: set[int] = set()
                 try:
                     for fut in as_completed(futures):
-                        job = futures[fut]
-                        elapsed = time.monotonic() - submit_t[job.index]
+                        group = futures[fut]
+                        elapsed = time.monotonic() - submit_t[group[0].index]
                         try:
-                            result = fut.result()
+                            payload = fut.result()
                         except BrokenProcessPool:
                             broken = True
                             break
                         except Exception as exc:
-                            job.duration_s += elapsed
-                            settled.add(job.index)
-                            if self._should_retry(job, exc, sink):
-                                retry_next.append(job)
+                            for job in group:
+                                job.duration_s += elapsed
+                                settled.add(job.index)
+                            if len(group) > 1:
+                                retry_next.extend(
+                                    self._cohort_fallback(group, exc, sink)
+                                )
+                            elif self._should_retry(group[0], exc, sink):
+                                retry_next.append([group[0]])
                             else:
-                                self._finish_failed(job, exc, records, sink)
+                                self._finish_failed(group[0], exc, records, sink)
                         else:
-                            job.duration_s += elapsed
-                            settled.add(job.index)
-                            self._finish_ok(
-                                job, result, results, records, sink,
-                                transported=True,
+                            for job in group:
+                                job.duration_s += elapsed
+                                settled.add(job.index)
+                            self._finish_group_ok(
+                                group, payload, results, records, sink
                             )
                 except BrokenProcessPool:
                     broken = True
@@ -496,24 +648,26 @@ class BatchRunner:
                     # The pool died with one (unidentifiable) job to blame:
                     # collect any results that did land, then charge every
                     # unfinished job one attempt and resubmit survivors in
-                    # a fresh pool.
+                    # a fresh pool (cohorts fall back per-run).
                     crash = BrokenProcessPool("worker process crashed")
-                    for fut, job in futures.items():
-                        if job.index in settled:
+                    for fut, group in futures.items():
+                        if group[0].index in settled:
                             continue
-                        elapsed = time.monotonic() - submit_t[job.index]
+                        elapsed = time.monotonic() - submit_t[group[0].index]
+                        for job in group:
+                            job.duration_s += elapsed
                         if fut.done() and fut.exception() is None:
-                            job.duration_s += elapsed
-                            self._finish_ok(
-                                job, fut.result(), results, records, sink,
-                                transported=True,
+                            self._finish_group_ok(
+                                group, fut.result(), results, records, sink
                             )
+                        elif len(group) > 1:
+                            retry_next.extend(
+                                self._cohort_fallback(group, crash, sink)
+                            )
+                        elif self._should_retry(group[0], crash, sink):
+                            retry_next.append([group[0]])
                         else:
-                            job.duration_s += elapsed
-                            if self._should_retry(job, crash, sink):
-                                retry_next.append(job)
-                            else:
-                                self._finish_failed(job, crash, records, sink)
+                            self._finish_failed(group[0], crash, records, sink)
             todo = retry_next
 
 

@@ -152,6 +152,13 @@ class RunSpec:
             scalars/reductions should declare ``"none"`` (nothing but a
             few hundred bytes crosses the pool); ``"rle"`` keeps the
             trace addressable at run-length cost.
+        batch_group: explicit lockstep-cohort partition key.  Specs are
+            only co-scheduled in one :class:`repro.sim.batchengine.
+            BatchSimulator` cohort when their implicit compatibility key
+            *and* this value match; ``None`` (default) lets compatible
+            specs group freely.  Results are bit-identical either way —
+            the key only controls co-execution, so it is *not* part of
+            the cache identity (see :meth:`manifest`).
     """
 
     workload: str
@@ -164,6 +171,7 @@ class RunSpec:
     observe: bool = False
     reductions: tuple[str, ...] = ()
     trace_policy: str = "full"
+    batch_group: Optional[str] = None
 
     def __post_init__(self):
         if self.trace_policy not in TRACE_POLICIES:
@@ -201,6 +209,8 @@ class RunSpec:
             manifest["reductions"] = list(self.reductions)
         if self.trace_policy != "full":
             manifest["trace_policy"] = self.trace_policy
+        # batch_group is deliberately absent: lockstep co-execution is
+        # bit-exact, so grouping must not fragment the result cache.
         return manifest
 
     def key(self) -> str:
@@ -329,8 +339,25 @@ class RunResult:
 _parse_core_config = lru_cache(maxsize=None)(CoreConfig.parse)
 
 
-def _run_app_kind(spec: RunSpec) -> RunResult:
-    """Built-in kind: one Table II / extended app run (= ``run_app``)."""
+@dataclass
+class PreparedAppRun:
+    """An installed-but-unrun app simulation (the first half of a run).
+
+    Splitting :func:`_run_app_kind` at the ``sim.run()`` call lets the
+    lockstep cohort executor (:mod:`repro.runner.cohort`) prepare many
+    compatible specs, advance their simulators together in one
+    :class:`repro.sim.batchengine.BatchSimulator`, and then finish each
+    one exactly as a solo run would have.
+    """
+
+    spec: RunSpec
+    sim: Simulator
+    app: Any
+    observation: Any = None
+
+
+def prepare_app_run(spec: RunSpec) -> PreparedAppRun:
+    """Build, observe, and install one app-kind simulation (no run yet)."""
     # Imported here to avoid a cycle (core.study is analysis-layer).
     from repro.core.study import FPS_APP_SECONDS, LATENCY_APP_CAP_SECONDS
 
@@ -358,7 +385,13 @@ def _run_app_kind(spec: RunSpec) -> RunResult:
 
         observation = Observation.attach(sim)
     app.install(sim)
-    trace = sim.run()
+    return PreparedAppRun(spec=spec, sim=sim, app=app, observation=observation)
+
+
+def finish_app_run(prepared: PreparedAppRun) -> RunResult:
+    """Turn one *completed* prepared run into its :class:`RunResult`."""
+    spec, app = prepared.spec, prepared.app
+    trace = prepared.sim.trace
     result = RunResult(
         spec_key=spec.key(),
         workload=spec.workload,
@@ -373,9 +406,16 @@ def _run_app_kind(spec: RunSpec) -> RunResult:
     else:
         result.avg_fps = float(app.avg_fps())
         result.min_fps = float(app.min_fps())
-    if observation is not None:
-        result.metrics = observation.snapshot().to_dict()
+    if prepared.observation is not None:
+        result.metrics = prepared.observation.snapshot().to_dict()
     return result
+
+
+def _run_app_kind(spec: RunSpec) -> RunResult:
+    """Built-in kind: one Table II / extended app run (= ``run_app``)."""
+    prepared = prepare_app_run(spec)
+    prepared.sim.run()
+    return finish_app_run(prepared)
 
 
 _BUILTIN_KINDS: dict[str, Callable[[RunSpec], RunResult]] = {

@@ -1,0 +1,170 @@
+"""Provable sweep folding: run one representative per equivalence class.
+
+Two sweep variants that differ only in a *comparison-only* parameter —
+one the simulation compares against but never uses arithmetically — are
+bit-identical runs whenever every comparison resolves the same way.
+The interactive governor has exactly two such parameters:
+
+- ``GovernorParams.down_threshold`` is read only at the
+  ``util < down_threshold`` test in
+  :meth:`~repro.sched.governor.InteractiveGovernor._next_freq_value`;
+- ``GovernorParams.hold_ms`` is read only at the
+  ``ticks_since_raise < hold_ms`` test guarded by the former.
+
+Every frequency decision in both engines flows through that one
+function (the per-tick window close, the idle/busy fast-forward
+replays, and the batch engine's object-side governor tick), so a
+:class:`SweepWitness` attached there sees *every* read of the two
+parameters a run performs.  The witness maintains the interval of
+alternative parameter values that would have resolved every observed
+comparison identically; by induction over ticks, any variant inside
+the interval produces a byte-identical trace, metrics snapshot, and
+reductions — its result can be *copied* instead of simulated.
+
+:func:`repro.runner.cohort.execute_cohort` uses this to collapse
+governor sweeps: specs identical modulo the two axes form a *fold
+family*; representatives run (in lockstep cohorts), and each witness
+interval resolves every family member it covers for free.  Busy-span
+dry-run probes also report comparisons, which can only over-constrain
+the interval — folding degrades toward running more representatives,
+never toward wrong results.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import math
+from typing import Optional, Sequence
+
+from repro.runner.spec import RunResult, RunSpec
+from repro.sched.governor import InteractiveGovernor
+
+
+class SweepWitness:
+    """Interval certificate for ``(down_threshold, hold_ms)`` equivalence.
+
+    One instance is shared by every governor of a simulation (both
+    cluster domains accumulate into the same bounds).  After the run,
+    :meth:`covers` is true exactly for the parameter pairs that would
+    have taken the same branch at every recorded comparison — the
+    representative's own pair always qualifies.
+    """
+
+    __slots__ = ("dn_gt", "dn_le", "hold_lo", "hold_hi")
+
+    def __init__(self) -> None:
+        #: ``down_threshold`` must satisfy ``dn_gt < value <= dn_le``.
+        self.dn_gt = -math.inf
+        self.dn_le = math.inf
+        #: ``hold_ms`` must satisfy ``hold_lo <= value <= hold_hi``.
+        self.hold_lo = 0
+        self.hold_hi = math.inf
+
+    def note_down(self, util: float, below: bool) -> None:
+        """Record one ``util < down_threshold`` comparison outcome."""
+        if below:
+            # Branch taken: alternatives need util < value too.
+            if util > self.dn_gt:
+                self.dn_gt = util
+        elif util < self.dn_le:
+            # Branch not taken: alternatives need value <= util.
+            self.dn_le = util
+
+    def note_hold(self, ticks_since_raise: int, held: bool) -> None:
+        """Record one ``ticks_since_raise < hold_ms`` comparison outcome."""
+        if held:
+            # hold_ms is integral: tsr < value  <=>  value >= tsr + 1.
+            if ticks_since_raise + 1 > self.hold_lo:
+                self.hold_lo = ticks_since_raise + 1
+        elif ticks_since_raise < self.hold_hi:
+            self.hold_hi = ticks_since_raise
+
+    def covers(self, down_threshold: float, hold_ms: int) -> bool:
+        """Would a run with these values be bit-identical to the witness's?"""
+        return (
+            self.dn_gt < down_threshold <= self.dn_le
+            and self.hold_lo <= hold_ms <= self.hold_hi
+        )
+
+
+def install_witness(sim) -> Optional[SweepWitness]:
+    """Attach one shared witness to every governor of ``sim``.
+
+    Returns ``None`` — fold this run conservatively, i.e. not at all —
+    unless every governor is exactly :class:`InteractiveGovernor` (a
+    subclass could read the swept parameters at unhooked sites).
+    """
+    governors = list(sim.governors.values())
+    if not governors or any(type(g) is not InteractiveGovernor for g in governors):
+        return None
+    witness = SweepWitness()
+    for gov in governors:
+        gov._witness = witness
+    return witness
+
+
+def fold_key(spec: RunSpec) -> Optional[str]:
+    """Spec identity modulo the two foldable axes, or ``None`` if ineligible.
+
+    Specs sharing a key are identical simulations except for
+    ``governor.down_threshold`` / ``governor.hold_ms`` (and the
+    display-only scheduler name), so a witness interval from one
+    resolves the others.  ``"shm"`` traces are excluded: a fold clones
+    results, and cloning a shared-memory handle would alias its
+    lifetime.
+    """
+    if spec.kind != "app" or spec.trace_policy == "shm":
+        return None
+    manifest = spec.manifest()
+    sched = dict(manifest["scheduler"])
+    sched["name"] = None
+    sched["governor"] = dict(
+        sched["governor"], down_threshold=None, hold_ms=None
+    )
+    manifest["scheduler"] = sched
+    return json.dumps(manifest, sort_keys=True, separators=(",", ":"))
+
+
+def swept_values(spec: RunSpec) -> tuple[float, int]:
+    """The spec's position on the two fold axes."""
+    gov = spec.scheduler.governor
+    return float(gov.down_threshold), int(gov.hold_ms)
+
+
+def clone_result(result: RunResult, spec: RunSpec) -> RunResult:
+    """An independent copy of ``result`` re-keyed for a covered ``spec``.
+
+    The simulated payload is byte-identical by the witness argument;
+    only the spec identity differs.  Mutable payloads are deep-copied
+    so downstream consumers of one variant cannot alias another's.
+    """
+    out = copy.copy(result)
+    out.spec_key = spec.key()
+    out.metrics = copy.deepcopy(result.metrics)
+    out.reductions = copy.deepcopy(result.reductions)
+    out.trace = copy.deepcopy(result.trace)
+    return out
+
+
+def pick_spread(
+    pairs: Sequence[tuple[int, tuple[float, int]]], limit: int
+) -> list[int]:
+    """Up to ``limit`` indices spread evenly across the sorted axis grid.
+
+    Spreading representatives over the parameter box makes each round
+    likely to sample distinct equivalence classes (classes are interval
+    boxes, so neighbours usually fold together).
+    """
+    order = sorted(pairs, key=lambda item: item[1])
+    if len(order) <= limit:
+        return [i for i, _ in order]
+    step = (len(order) - 1) / (limit - 1)
+    picked: list[int] = []
+    seen: set[int] = set()
+    for j in range(limit):
+        i = order[round(j * step)][0]
+        if i not in seen:
+            seen.add(i)
+            picked.append(i)
+    return picked

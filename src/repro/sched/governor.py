@@ -158,6 +158,12 @@ class InteractiveGovernor(Governor):
         self._window_ticks = 0
         self._ticks_since_raise = 0
         self._boost_ticks_left = 0
+        #: Optional :class:`repro.runner.sweepfold.SweepWitness`.  When
+        #: set, every comparison against the two fold-eligible parameters
+        #: (``down_threshold``, ``hold_ms``) is reported to it; those
+        #: parameters are read *nowhere else*, which is what makes the
+        #: witness a complete equivalence certificate.
+        self._witness = None
 
     def start(self, domain: ClusterFreqDomain) -> None:
         domain.set_freq(domain.opp_table.min_khz)
@@ -256,11 +262,18 @@ class InteractiveGovernor(Governor):
                 if freq < hispeed:
                     return hispeed
             return max(target, freq)
-        if util < p.down_threshold:
+        w = self._witness
+        below = util < p.down_threshold
+        if w is not None:
+            w.note_down(util, below)
+        if below:
             # min_sample_time: a raised frequency is held for a while
             # before scaling down, over-provisioning after bursts.
             # (One engine tick is one millisecond.)
-            if ticks_since_raise < p.hold_ms:
+            held = ticks_since_raise < p.hold_ms
+            if w is not None:
+                w.note_hold(ticks_since_raise, held)
+            if held:
                 return freq
             return target
         return freq
@@ -283,6 +296,19 @@ class InteractiveGovernor(Governor):
         """
         if self._sampling_ticks <= 0:  # not started
             return None
+        witness = self._witness
+        if witness is not None and not commit:
+            # Dry-run probes revisit decisions the engine either commits
+            # through this method (re-evaluated then) or reaches on the
+            # per-tick path; recording them here would only narrow the
+            # fold interval with comparisons that never shape state.
+            self._witness = None
+            try:
+                return self.busy_tick_span(
+                    domain, n_ticks, tick_s, busy_by_core, commit
+                )
+            finally:
+                self._witness = witness
         cores = domain.cores
         sampling = self._sampling_ticks
         window_ticks = self._window_ticks
