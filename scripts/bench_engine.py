@@ -28,11 +28,14 @@ Scenario families:
   per-run vs as one lockstep cohort through the batched engine
   (``repro.sim.batchengine``) with witness-certified sweep folding
   (``repro.runner.sweepfold``), cross-checked for identical scalars.
+- *lake-query*: 200 cached RLE runs queried through ``repro.lake`` —
+  catalog rebuild time and group-by queries/sec, with a hard assertion
+  that no query densifies a trace (``trace.materializations`` delta 0).
 
 ``--compare OLD.json`` prints per-scenario deltas against a previously
-written results file (CI runs it against the committed
-``BENCH_engine.json``, non-blocking) and is applied before ``--out``
-overwrites the baseline.
+written results file and is applied before ``--out`` overwrites the
+baseline.  CI gates on ``scripts/check_bench_regression.py`` instead
+(blocking, tolerance-based); ``--compare`` remains for eyeballing.
 
 Usage::
 
@@ -387,6 +390,88 @@ def bench_explore_small(quick: bool):
     }
 
 
+# ---------------------------------------------------------------------------
+# lake-query scenario: cross-run analytics over cached RLE traces
+# ---------------------------------------------------------------------------
+
+_LAKE_RUNS = 200
+
+
+def bench_lake_query(quick: bool):
+    """Time the trace lake over >=200 cached RLE runs.
+
+    Populates a fresh cache with ``_LAKE_RUNS`` idle-heavy runs under the
+    ``rle`` trace policy, then measures (a) a full catalog rebuild (the
+    cache-tree scan, i.e. the recovery path — incremental appends are
+    free) and (b) a battery of group-by queries exercising every
+    RLE-native kernel.  The ``trace.materializations`` counter is
+    snapshotted around the query pass and its delta **must be zero** —
+    the lake's core claim is that cross-run analytics never densify a
+    trace, and this bench enforces it where the numbers are produced.
+    """
+    from repro.lake import Catalog, LakeQuery
+    from repro.obs.metrics import global_metrics
+    from repro.runner import BatchRunner, ResultCache, RunSpec
+
+    sim_seconds = 10.0 if quick else 30.0
+    specs = [
+        RunSpec(
+            "idle-heavy", kind=_IDLE_HEAVY_KIND, seed=seed,
+            max_seconds=sim_seconds, trace_policy="rle",
+        )
+        for seed in range(_LAKE_RUNS)
+    ]
+    with tempfile.TemporaryDirectory(prefix="bench-lake-") as root:
+        cache = ResultCache(root=root)
+        t0 = time.monotonic()
+        report = BatchRunner(workers=_TRANSPORT_WORKERS, cache=cache).run(specs)
+        report.raise_on_failure()
+        populate_s = time.monotonic() - t0
+
+        catalog = Catalog(root=root)
+        t0 = time.monotonic()
+        entries = catalog.rebuild()
+        catalog_build_s = time.monotonic() - t0
+
+        queries = [
+            LakeQuery(catalog).group_by("workload").agg("count", "residency:little"),
+            LakeQuery(catalog).group_by("workload").agg("residency:big"),
+            LakeQuery(catalog).group_by("workload").agg("freq_hist:little"),
+            LakeQuery(catalog).group_by("workload").agg("freq_hist:big"),
+            LakeQuery(catalog).group_by("workload").agg("migrations"),
+            LakeQuery(catalog).group_by("workload").agg("energy"),
+            LakeQuery(catalog).where(seed=0).agg("count", "mean:avg_power_mw"),
+            LakeQuery(catalog).group_by("seed").agg("sum:energy_mj"),
+        ]
+        mat_before = global_metrics().counter("trace.materializations").value
+        t0 = time.monotonic()
+        for query in queries:
+            query.run()
+        queries_wall_s = time.monotonic() - t0
+        materializations = (
+            global_metrics().counter("trace.materializations").value - mat_before
+        )
+    if materializations:
+        raise AssertionError(
+            f"lake-query densified {materializations} traces; the RLE "
+            f"kernels must never call to_trace()"
+        )
+    return {
+        "n_runs": _LAKE_RUNS,
+        "sim_seconds": sim_seconds,
+        "workers": _TRANSPORT_WORKERS,
+        "populate_wall_s": populate_s,
+        "entries": len(entries),
+        "catalog_build_s": catalog_build_s,
+        "n_queries": len(queries),
+        "queries_wall_s": queries_wall_s,
+        "queries_per_sec": (
+            len(queries) / queries_wall_s if queries_wall_s > 0 else float("inf")
+        ),
+        "materializations": materializations,
+    }
+
+
 def compare(rows, baseline_path: str) -> None:
     """Print per-scenario deltas against a previous results JSON.
 
@@ -492,6 +577,14 @@ def main(argv=None) -> int:
           f"({explore['warm_cache_hits']} cache hits), "
           f"frontier {explore['frontier_size']}")
 
+    lake = bench_lake_query(args.quick)
+    print(f"\nlake-query ({lake['entries']} cached runs x "
+          f"{lake['sim_seconds']:.0f}s sim): "
+          f"catalog rebuild {lake['catalog_build_s'] * 1e3:.0f}ms, "
+          f"{lake['n_queries']} queries in {lake['queries_wall_s']:.2f}s "
+          f"({lake['queries_per_sec']:.1f} q/s), "
+          f"{lake['materializations']} densifications")
+
     if args.compare:
         compare(rows, args.compare)
 
@@ -504,6 +597,7 @@ def main(argv=None) -> int:
             "batch_transport": transport,
             "sweep_lockstep": sweep,
             "explore_small": explore,
+            "lake_query": lake,
             "best_speedup": best["speedup"],
             "worst_speedup": worst["speedup"],
         }

@@ -10,6 +10,9 @@ Usage::
     biglittle observe bbench --perfetto trace.json --metrics m.json
     biglittle batch --apps bbench --configs L4+B4,L2+B1 --workers 4
     biglittle sweep coreconfig --workers 8   # fig07/08 on all cores
+    biglittle lake query --where workload=bbench \
+        --group-by scheduler --agg count,mean:avg_power_mw,migrations
+    biglittle lake report --ingest BENCH_engine.json
 
 Results (tables, JSON) go to **stdout**; progress and "written to"
 notices go to the ``repro`` logger on **stderr** (``-v`` / ``-q``
@@ -382,7 +385,103 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         title=f"Result cache at {cache.root}",
     ))
     if args.stats:
+        from repro.lake import Catalog
+
+        breakdown = Catalog(root=cache.root).breakdown()
+        detail_rows = [
+            [version, workload, s["entries"], f"{s['bytes'] / 1e6:.2f}"]
+            for version, per_app in sorted(breakdown.items())
+            for workload, s in sorted(per_app.items())
+        ]
+        if detail_rows:
+            print()
+            print(render_table(
+                ["version", "app", "entries", "MB"],
+                detail_rows,
+                title="Per-app breakdown (lake catalog)",
+            ))
         print(f"\nthis process: {cache.stats.summary()}")
+    return 0
+
+
+def _parse_where(items: list[str]) -> dict:
+    filters = {}
+    for item in items or []:
+        name, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(f"--where expects dim=value, got {item!r}")
+        filters[name] = value
+    return filters
+
+
+def _cmd_lake_index(args: argparse.Namespace) -> int:
+    from repro.lake import Catalog
+
+    catalog = Catalog(root=args.cache_dir)
+    if args.merge:
+        appended = catalog.merge_from(args.merge)
+        log.info("merged %d catalog lines from %s", appended, args.merge)
+    entries = catalog.rebuild()
+    versions = sorted({e.version for e in entries})
+    print(
+        f"catalog at {catalog.path}: {len(entries)} entries across "
+        f"{len(versions)} versions ({', '.join(versions) or 'none'})"
+    )
+    return 0
+
+
+def _cmd_lake_query(args: argparse.Namespace) -> int:
+    from repro.lake import Catalog, LakeQuery
+
+    query = LakeQuery(Catalog(root=args.cache_dir))
+    filters = _parse_where(args.where)
+    if filters:
+        query = query.where(**filters)
+    if args.group_by:
+        query = query.group_by(*_csv(args.group_by))
+    query = query.agg(*_csv(args.agg))
+    result = query.run()
+    print(result.render(title="lake query"))
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(result.to_json())
+        log.info("query result written to %s", args.json)
+    return 0
+
+
+def _cmd_lake_diff(args: argparse.Namespace) -> int:
+    from repro.lake import Catalog
+    from repro.lake.regress import diff_versions, render_diff
+
+    payload = diff_versions(
+        Catalog(root=args.cache_dir), args.version_a, args.version_b
+    )
+    print(render_diff(payload))
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+        log.info("diff written to %s", args.json)
+    return 0 if payload["common_specs"] else 1
+
+
+def _cmd_lake_report(args: argparse.Namespace) -> int:
+    from repro.lake import ingest_bench, render_report, report_payload
+
+    if args.ingest:
+        record = ingest_bench(args.ingest, args.history, label=args.label)
+        if record is None:
+            log.info("%s already ingested (same fingerprint), skipping", args.ingest)
+        else:
+            log.info("ingested %s as %r", args.ingest, record["label"])
+    print(render_report(args.history))
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w") as fh:
+            _json.dump(report_payload(args.history), fh, indent=2, sort_keys=True)
+        log.info("report payload written to %s", args.json)
     return 0
 
 
@@ -575,6 +674,70 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--cache-dir", default=None,
                          help="result-cache root (default: ~/.cache/repro-runner)")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_lake = sub.add_parser(
+        "lake",
+        help="cross-run analytics over the cached result lake",
+    )
+    lake_sub = p_lake.add_subparsers(dest="lake_command", required=True)
+
+    p_idx = lake_sub.add_parser(
+        "index", help="rebuild (compact) the catalog by scanning the cache"
+    )
+    p_idx.add_argument("--cache-dir", default=None,
+                       help="result-cache root (default: ~/.cache/repro-runner)")
+    p_idx.add_argument("--merge", metavar="PATH", default=None,
+                       help="first append another catalog.jsonl (e.g. from a "
+                            "remote worker) into this one")
+    p_idx.set_defaults(func=_cmd_lake_index)
+
+    p_query = lake_sub.add_parser(
+        "query",
+        help="aggregate cached runs: filters, group-by, RLE-native kernels",
+    )
+    p_query.add_argument("--where", action="append", metavar="DIM=VALUE",
+                         default=None,
+                         help="filter entries (repeatable), e.g. "
+                              "--where workload=bbench --where seed=0")
+    p_query.add_argument("--group-by", default=None, metavar="DIM[,DIM...]",
+                         help="group dimensions, e.g. scheduler,version")
+    p_query.add_argument("--agg", default="count", metavar="SPEC[,SPEC...]",
+                         help="aggregates: count, mean:/sum:/min:/max:<metric>, "
+                              "residency:little|big, freq_hist:little|big, "
+                              "migrations, energy (default: count)")
+    p_query.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the result rows as JSON")
+    p_query.add_argument("--cache-dir", default=None,
+                         help="result-cache root (default: ~/.cache/repro-runner)")
+    p_query.set_defaults(func=_cmd_lake_query)
+
+    p_diff = lake_sub.add_parser(
+        "diff",
+        help="regression-diff two code versions' entries for the same specs",
+    )
+    p_diff.add_argument("version_a", help="baseline version (e.g. 1.1.0)")
+    p_diff.add_argument("version_b", help="candidate version (e.g. 1.2.0)")
+    p_diff.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the structured diff as JSON")
+    p_diff.add_argument("--cache-dir", default=None,
+                        help="result-cache root (default: ~/.cache/repro-runner)")
+    p_diff.set_defaults(func=_cmd_lake_diff)
+
+    p_report = lake_sub.add_parser(
+        "report",
+        help="perf-regression dashboard from the bench-snapshot history",
+    )
+    p_report.add_argument("--history", metavar="PATH", default="bench_history.jsonl",
+                          help="history log (default: ./bench_history.jsonl)")
+    p_report.add_argument("--ingest", metavar="BENCH_JSON", default=None,
+                          help="first ingest a BENCH_engine.json snapshot "
+                               "(idempotent: duplicate fingerprints skipped)")
+    p_report.add_argument("--label", default=None,
+                          help="label for the ingested snapshot "
+                               "(default: repro.__version__)")
+    p_report.add_argument("--json", metavar="PATH", default=None,
+                          help="also write the dashboard payload as JSON")
+    p_report.set_defaults(func=_cmd_lake_report)
 
     return parser
 

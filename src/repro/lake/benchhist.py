@@ -1,0 +1,250 @@
+"""Bench-snapshot history: ``BENCH_engine.json`` across PRs, as a lake.
+
+``scripts/bench_engine.py`` writes one ``BENCH_engine.json`` per run and
+the repo commits one per PR — so the perf trajectory of the engine lives
+only in git archaeology.  This module ingests each snapshot into an
+append-only ``bench_history.jsonl`` (same merge-friendly log shape as
+the catalog) and renders the per-scenario ticks/s + speedup trajectory
+as the ``biglittle lake report`` dashboard.
+
+Each history record keeps just the trend-relevant numbers per scenario
+plus a content **fingerprint** of the source snapshot, so re-ingesting
+the same ``BENCH_engine.json`` (CI runs every PR) is a no-op rather than
+a duplicate point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Optional
+
+from repro.obs.metrics import global_metrics
+
+__all__ = [
+    "BENCH_HISTORY_FILE",
+    "HISTORY_SCHEMA_VERSION",
+    "ingest_bench",
+    "load_history",
+    "render_report",
+    "report_payload",
+]
+
+#: Default history file name (repo root / CI workspace).
+BENCH_HISTORY_FILE = "bench_history.jsonl"
+
+HISTORY_SCHEMA_VERSION = 1
+
+
+def _fingerprint(bench: dict[str, Any]) -> str:
+    """Content hash of a bench snapshot (order-independent)."""
+    canon = json.dumps(bench, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()[:16]
+
+
+def _scenario_summary(bench: dict[str, Any]) -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for scen in bench.get("scenarios") or []:
+        name = scen.get("scenario")
+        fastpath = scen.get("fastpath") or {}
+        if not name:
+            continue
+        out[str(name)] = {
+            "ticks_per_sec": float(fastpath.get("ticks_per_sec", 0.0)),
+            "speedup": float(scen.get("speedup", 0.0)),
+        }
+    return out
+
+
+def _history_record(
+    bench: dict[str, Any], label: Optional[str]
+) -> dict[str, Any]:
+    import repro
+
+    record: dict[str, Any] = {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "label": label or repro.__version__,
+        "version": repro.__version__,
+        "quick": bool(bench.get("quick", False)),
+        "seed": bench.get("seed"),
+        "fingerprint": _fingerprint(bench),
+        "scenarios": _scenario_summary(bench),
+    }
+    sweep = bench.get("sweep_lockstep")
+    if isinstance(sweep, dict):
+        record["sweep_lockstep"] = {
+            "speedup": float(sweep.get("speedup", 0.0)),
+            "scalar_mismatches": int(sweep.get("scalar_mismatches", 0)),
+        }
+    transport = bench.get("batch_transport")
+    if isinstance(transport, dict):
+        record["batch_transport"] = {
+            policy: {
+                "speedup_vs_full": float(stats.get("speedup_vs_full", 0.0)),
+                "bytes_reduction_vs_full": float(
+                    stats.get("bytes_reduction_vs_full", 0.0)
+                ),
+            }
+            for policy, stats in (transport.get("policies") or {}).items()
+            if isinstance(stats, dict)
+        }
+    explore = bench.get("explore_small")
+    if isinstance(explore, dict):
+        record["explore_small"] = {
+            "cold_points_per_sec": float(explore.get("cold_points_per_sec", 0.0)),
+            "warm_points_per_sec": float(explore.get("warm_points_per_sec", 0.0)),
+        }
+    lake = bench.get("lake_query")
+    if isinstance(lake, dict):
+        record["lake_query"] = {
+            "entries": int(lake.get("entries", 0)),
+            "catalog_build_s": float(lake.get("catalog_build_s", 0.0)),
+            "queries_per_sec": float(lake.get("queries_per_sec", 0.0)),
+            "materializations": int(lake.get("materializations", -1)),
+        }
+    return record
+
+
+def ingest_bench(
+    bench_path: str,
+    history_path: str = BENCH_HISTORY_FILE,
+    label: Optional[str] = None,
+) -> Optional[dict[str, Any]]:
+    """Append one bench snapshot to the history log.
+
+    Returns the appended record, or ``None`` when a record with the same
+    content fingerprint is already present (idempotent re-ingestion).
+    """
+    with open(bench_path) as fh:
+        bench = json.load(fh)
+    record = _history_record(bench, label)
+    for existing in load_history(history_path):
+        if existing.get("fingerprint") == record["fingerprint"]:
+            global_metrics().counter("lake.bench.dup_ingests").inc()
+            return None
+    with open(history_path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n")
+    global_metrics().counter("lake.bench.ingests").inc()
+    return record
+
+
+def load_history(history_path: str = BENCH_HISTORY_FILE) -> list[dict[str, Any]]:
+    """All parseable history records, in append (chronological) order."""
+    records: list[dict[str, Any]] = []
+    if not os.path.isfile(history_path):
+        return records
+    with open(history_path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if (
+                isinstance(record, dict)
+                and int(record.get("schema", 0)) <= HISTORY_SCHEMA_VERSION
+            ):
+                records.append(record)
+    return records
+
+
+def report_payload(history_path: str = BENCH_HISTORY_FILE) -> dict[str, Any]:
+    """The dashboard as data: per-scenario trajectories across snapshots."""
+    records = load_history(history_path)
+    scenario_names: list[str] = []
+    for record in records:
+        for name in record.get("scenarios") or {}:
+            if name not in scenario_names:
+                scenario_names.append(name)
+    trajectories: dict[str, list[dict[str, Any]]] = {n: [] for n in scenario_names}
+    for record in records:
+        scens = record.get("scenarios") or {}
+        for name in scenario_names:
+            stats = scens.get(name)
+            if stats:
+                trajectories[name].append({
+                    "label": record.get("label"),
+                    "quick": record.get("quick"),
+                    "ticks_per_sec": stats.get("ticks_per_sec"),
+                    "speedup": stats.get("speedup"),
+                })
+    return {
+        "n_snapshots": len(records),
+        "labels": [r.get("label") for r in records],
+        "scenarios": trajectories,
+        "latest": records[-1] if records else None,
+    }
+
+
+def _delta_pct(first: float, last: float) -> str:
+    if first <= 0:
+        return "n/a"
+    return f"{100.0 * (last - first) / first:+.1f}%"
+
+
+def render_report(history_path: str = BENCH_HISTORY_FILE) -> str:
+    """The ``biglittle lake report`` dashboard, as aligned text."""
+    from repro.core.report import render_table
+
+    payload = report_payload(history_path)
+    if not payload["n_snapshots"]:
+        return f"no bench history at {history_path} (ingest with --ingest)"
+    lines = [
+        f"bench history: {payload['n_snapshots']} snapshots "
+        f"({' -> '.join(str(l) for l in payload['labels'])})",
+        "",
+    ]
+    rows = []
+    for name, points in payload["scenarios"].items():
+        if not points:
+            continue
+        first, last = points[0], points[-1]
+        spark = " -> ".join(
+            f"{p['ticks_per_sec'] / 1e3:.1f}k" for p in points
+        )
+        rows.append([
+            name,
+            f"{last['ticks_per_sec'] / 1e3:.1f}k",
+            float(last["speedup"]),
+            _delta_pct(first["ticks_per_sec"], last["ticks_per_sec"]),
+            spark,
+        ])
+    lines.append(render_table(
+        ["scenario", "ticks/s", "speedup", "delta(first->last)", "trajectory"],
+        rows,
+        title="engine scenarios (fastpath ticks/s)",
+    ))
+    latest = payload["latest"]
+    extras = []
+    sweep = latest.get("sweep_lockstep")
+    if sweep:
+        extras.append(
+            f"sweep-lockstep {sweep['speedup']:.2f}x "
+            f"({sweep['scalar_mismatches']} mismatches)"
+        )
+    transport = latest.get("batch_transport") or {}
+    if "rle" in transport:
+        extras.append(
+            f"rle transport {transport['rle']['bytes_reduction_vs_full']:.0f}x "
+            "fewer bytes"
+        )
+    explore = latest.get("explore_small")
+    if explore:
+        extras.append(
+            f"explore {explore['cold_points_per_sec']:.1f} cold / "
+            f"{explore['warm_points_per_sec']:.0f} warm pts/s"
+        )
+    lake = latest.get("lake_query")
+    if lake:
+        extras.append(
+            f"lake {lake['queries_per_sec']:.1f} queries/s over "
+            f"{lake['entries']} entries "
+            f"({lake['materializations']} densifications)"
+        )
+    if extras:
+        lines.append("")
+        lines.append(f"latest ({latest.get('label')}): " + "; ".join(extras))
+    return "\n".join(lines)

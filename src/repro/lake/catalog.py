@@ -1,0 +1,433 @@
+"""The trace-lake catalog: an append-only index of every cache entry.
+
+One JSONL file (``catalog.jsonl``) at the cache root records one line
+per catalog operation::
+
+    {"schema": 1, "op": "store", "version": "1.2.0",
+     "spec_key": "ab12…", "entry": { …dimensions and metrics… }}
+    {"schema": 1, "op": "evict", "version": "1.2.0", "spec_key": "ab12…"}
+
+Design choices, deliberate and load-bearing:
+
+- **Append-only JSONL, not SQLite.**  Appends are atomic at line
+  granularity, concurrent writers never corrupt each other, and two
+  catalogs merge by concatenation — the property the distributed-sweep
+  roadmap item needs when remote workers ship their index deltas home.
+  Reading folds the log: last ``store`` wins per ``(version, spec_key)``,
+  a later ``evict`` removes it.
+- **Versioned schema.**  Every line carries ``schema``; readers skip
+  lines from a *newer* schema (forward-compatible: an old reader of a
+  merged file degrades to a partial view instead of crashing) and count
+  them in ``lake.catalog.skipped_lines``.
+- **Rebuildable.**  The log is a cache of the cache: ``rebuild()``
+  re-derives every record by scanning ``<root>/<version>/<key>/
+  result.json``, so a lost or stale catalog is never fatal.
+
+Incremental maintenance happens inside
+:meth:`repro.runner.cache.ResultCache.store` / ``evict`` via
+:meth:`Catalog.append_store` / :meth:`Catalog.append_evict`; both are
+best-effort — an unwritable catalog degrades to rebuild-on-read, never
+to a failed run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.obs.logsetup import get_logger
+from repro.obs.metrics import global_metrics
+
+log = get_logger("lake.catalog")
+
+#: Schema version stamped on every catalog line.  Bump when a reader
+#: could misinterpret older fields; readers skip lines newer than this.
+CATALOG_SCHEMA_VERSION = 1
+
+#: The catalog file name, directly under the cache root.
+CATALOG_FILE = "catalog.jsonl"
+
+#: Scalar metric fields copied from ``result.json`` into the catalog.
+METRIC_FIELDS = (
+    "metric", "duration_s", "avg_power_mw", "energy_mj",
+    "latency_s", "avg_fps", "min_fps",
+)
+
+
+def _flatten_scheduler(scheduler: Any) -> tuple[str, dict[str, Any]]:
+    """Split a manifest's scheduler blob into (name, flat params).
+
+    Params are flattened to ``hmp.*`` / ``gov.*`` keys so queries can
+    filter and group on individual governor knobs (``gov.hold_ms``)
+    without knowing the nested manifest shape.
+    """
+    if not isinstance(scheduler, dict):
+        return str(scheduler), {}
+    name = str(scheduler.get("name", "?"))
+    params: dict[str, Any] = {}
+    for prefix, group in (("hmp", "hmp"), ("gov", "governor")):
+        blob = scheduler.get(group)
+        if isinstance(blob, dict):
+            for key, value in blob.items():
+                params[f"{prefix}.{key}"] = value
+    return name, params
+
+
+def _chip_id(chip: Any) -> str:
+    """A catalog-friendly chip identity: registry id or ``inline:<name>``."""
+    if isinstance(chip, str):
+        return chip
+    if isinstance(chip, dict) and "inline" in chip:
+        inline = chip["inline"]
+        name = inline.get("name", "?") if isinstance(inline, dict) else "?"
+        return f"inline:{name}"
+    return str(chip)
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One cache entry's indexed identity, dimensions, and metrics."""
+
+    version: str
+    spec_key: str
+    workload: str
+    kind: str
+    chip: str
+    core_config: Optional[str]
+    scheduler: str
+    seed: int
+    trace_policy: str
+    #: ``"rle"``, ``"npz"``, or ``None`` — which trace file the entry holds.
+    trace_format: Optional[str]
+    reductions: tuple[str, ...] = ()
+    observe: bool = False
+    max_seconds: Optional[float] = None
+    nbytes: int = 0
+    metrics: dict[str, Any] = field(default_factory=dict)
+    scheduler_params: dict[str, Any] = field(default_factory=dict)
+
+    def dim(self, name: str) -> Any:
+        """Resolve one query dimension (column) of this entry.
+
+        Plain attributes (``workload``, ``scheduler``, ``version``,
+        ``seed``, ``chip``, …) resolve directly; ``hmp.*`` / ``gov.*``
+        reach into the flattened scheduler params and ``metrics.*`` into
+        the stored scalars.
+        """
+        if name.startswith(("hmp.", "gov.")):
+            return self.scheduler_params.get(name)
+        if name.startswith("metrics."):
+            return self.metrics.get(name[len("metrics."):])
+        if not hasattr(self, name):
+            raise KeyError(
+                f"unknown catalog dimension {name!r}; attributes: workload, "
+                f"kind, chip, core_config, scheduler, seed, version, "
+                f"trace_policy, trace_format, observe, or hmp.*/gov.*/metrics.*"
+            )
+        return getattr(self, name)
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "kind": self.kind,
+            "chip": self.chip,
+            "core_config": self.core_config,
+            "scheduler": self.scheduler,
+            "scheduler_params": dict(self.scheduler_params),
+            "seed": self.seed,
+            "max_seconds": self.max_seconds,
+            "observe": self.observe,
+            "reductions": list(self.reductions),
+            "trace_policy": self.trace_policy,
+            "trace_format": self.trace_format,
+            "nbytes": self.nbytes,
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_record(
+        cls, version: str, spec_key: str, entry: dict[str, Any]
+    ) -> "CatalogEntry":
+        return cls(
+            version=version,
+            spec_key=spec_key,
+            workload=str(entry.get("workload", "?")),
+            kind=str(entry.get("kind", "app")),
+            chip=str(entry.get("chip", "?")),
+            core_config=entry.get("core_config"),
+            scheduler=str(entry.get("scheduler", "?")),
+            seed=int(entry.get("seed", 0)),
+            trace_policy=str(entry.get("trace_policy", "full")),
+            trace_format=entry.get("trace_format"),
+            reductions=tuple(entry.get("reductions") or ()),
+            observe=bool(entry.get("observe", False)),
+            max_seconds=entry.get("max_seconds"),
+            nbytes=int(entry.get("nbytes", 0)),
+            metrics=dict(entry.get("metrics") or {}),
+            scheduler_params=dict(entry.get("scheduler_params") or {}),
+        )
+
+    @classmethod
+    def from_result_payload(
+        cls,
+        version: str,
+        spec_key: str,
+        payload: dict[str, Any],
+        trace_format: Optional[str],
+        nbytes: int,
+    ) -> "CatalogEntry":
+        """Derive an entry from a cache ``result.json`` payload.
+
+        The single derivation path shared by incremental indexing (which
+        has the live spec/result but serializes through the same
+        manifest/scalars) and :meth:`Catalog.rebuild` (which only has
+        the file) — so both produce identical records.
+        """
+        manifest = payload.get("spec") or {}
+        scalars = payload.get("result") or {}
+        scheduler, params = _flatten_scheduler(manifest.get("scheduler"))
+        metrics = {
+            k: scalars.get(k) for k in METRIC_FIELDS if scalars.get(k) is not None
+        }
+        return cls(
+            version=version,
+            spec_key=spec_key,
+            workload=str(manifest.get("workload", "?")),
+            kind=str(manifest.get("kind", "app")),
+            chip=_chip_id(manifest.get("chip")),
+            core_config=manifest.get("core_config"),
+            scheduler=scheduler,
+            seed=int(manifest.get("seed", 0)),
+            trace_policy=str(manifest.get("trace_policy", "full")),
+            trace_format=trace_format,
+            reductions=tuple(manifest.get("reductions") or ()),
+            observe=bool(manifest.get("observe", False)),
+            max_seconds=manifest.get("max_seconds"),
+            nbytes=nbytes,
+            metrics=metrics,
+            scheduler_params=params,
+        )
+
+
+def _entry_trace_format(entry_dir: str) -> tuple[Optional[str], int]:
+    """(trace format, total entry bytes) from an entry directory listing."""
+    trace_format = None
+    nbytes = 0
+    try:
+        with os.scandir(entry_dir) as it:
+            for item in it:
+                if not item.is_file():
+                    continue
+                nbytes += item.stat().st_size
+                if item.name == "trace.rle":
+                    trace_format = "rle"
+                elif item.name == "trace.npz" and trace_format is None:
+                    trace_format = "npz"
+    except OSError:
+        pass
+    return trace_format, nbytes
+
+
+class Catalog:
+    """The queryable index over one cache root's entries."""
+
+    def __init__(self, root: Optional[str] = None, path: Optional[str] = None):
+        if root is None:
+            from repro.runner.cache import default_cache_dir
+
+            root = default_cache_dir()
+        self.root = root
+        self.path = path or os.path.join(root, CATALOG_FILE)
+
+    # -- incremental writes ------------------------------------------------
+
+    def _append(self, record: dict[str, Any]) -> bool:
+        """Append one log line; best-effort (returns False on I/O error)."""
+        record = {"schema": CATALOG_SCHEMA_VERSION, **record}
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        try:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            with open(self.path, "a") as fh:
+                fh.write(line + "\n")
+        except OSError as exc:
+            global_metrics().counter("lake.catalog.append_errors").inc()
+            log.warning("catalog append to %s failed: %s", self.path, exc)
+            return False
+        global_metrics().counter("lake.catalog.appends").inc()
+        return True
+
+    def append_store(
+        self,
+        version: str,
+        spec_key: str,
+        payload: dict[str, Any],
+        entry_dir: str,
+    ) -> bool:
+        """Index one just-stored cache entry (called by ``ResultCache.store``)."""
+        trace_format, nbytes = _entry_trace_format(entry_dir)
+        entry = CatalogEntry.from_result_payload(
+            version, spec_key, payload, trace_format, nbytes
+        )
+        return self._append({
+            "op": "store",
+            "version": version,
+            "spec_key": spec_key,
+            "entry": entry.to_record(),
+        })
+
+    def append_evict(self, version: str, spec_key: str) -> bool:
+        """Record an eviction (called by ``ResultCache.evict``)."""
+        return self._append({
+            "op": "evict", "version": version, "spec_key": spec_key,
+        })
+
+    # -- reads -------------------------------------------------------------
+
+    def _iter_lines(self) -> Iterator[dict[str, Any]]:
+        skipped = 0
+        try:
+            with open(self.path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        skipped += 1
+                        continue
+                    if not isinstance(record, dict):
+                        skipped += 1
+                        continue
+                    if int(record.get("schema", 0)) > CATALOG_SCHEMA_VERSION:
+                        skipped += 1
+                        continue
+                    yield record
+        except OSError:
+            return
+        finally:
+            if skipped:
+                global_metrics().counter("lake.catalog.skipped_lines").inc(skipped)
+                log.warning(
+                    "catalog %s: skipped %d unreadable/newer-schema lines",
+                    self.path, skipped,
+                )
+
+    def entries(self) -> list[CatalogEntry]:
+        """Fold the log into the current entry set (last write wins).
+
+        Returns entries sorted by ``(version, spec_key)`` so downstream
+        reports are deterministic regardless of append order — the
+        property that makes merged catalogs from several writers agree.
+        """
+        folded: dict[tuple[str, str], Optional[CatalogEntry]] = {}
+        for record in self._iter_lines():
+            key = (str(record.get("version")), str(record.get("spec_key")))
+            op = record.get("op")
+            if op == "store":
+                entry_blob = record.get("entry")
+                if isinstance(entry_blob, dict):
+                    folded[key] = CatalogEntry.from_record(key[0], key[1], entry_blob)
+            elif op == "evict":
+                folded[key] = None
+        return sorted(
+            (e for e in folded.values() if e is not None),
+            key=lambda e: (e.version, e.spec_key),
+        )
+
+    def exists(self) -> bool:
+        return os.path.isfile(self.path)
+
+    # -- rebuild and merge -------------------------------------------------
+
+    def scan(self) -> list[CatalogEntry]:
+        """Derive the entry set by scanning the cache tree (no log I/O)."""
+        entries: list[CatalogEntry] = []
+        try:
+            versions = sorted(os.listdir(self.root))
+        except OSError:
+            return entries
+        for version in versions:
+            vdir = os.path.join(self.root, version)
+            if version.startswith(".") or not os.path.isdir(vdir):
+                continue
+            for spec_key in sorted(os.listdir(vdir)):
+                entry_dir = os.path.join(vdir, spec_key)
+                if spec_key.startswith(".tmp-") or not os.path.isdir(entry_dir):
+                    continue
+                result_path = os.path.join(entry_dir, "result.json")
+                try:
+                    with open(result_path) as fh:
+                        payload = json.load(fh)
+                except (OSError, ValueError):
+                    continue
+                trace_format, nbytes = _entry_trace_format(entry_dir)
+                entries.append(CatalogEntry.from_result_payload(
+                    version, spec_key, payload, trace_format, nbytes
+                ))
+        return entries
+
+    def rebuild(self) -> list[CatalogEntry]:
+        """Rescan the cache tree and atomically rewrite the log (compaction)."""
+        entries = self.scan()
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=".catalog-", dir=os.path.dirname(self.path) or "."
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                for entry in entries:
+                    fh.write(json.dumps({
+                        "schema": CATALOG_SCHEMA_VERSION,
+                        "op": "store",
+                        "version": entry.version,
+                        "spec_key": entry.spec_key,
+                        "entry": entry.to_record(),
+                    }, sort_keys=True, separators=(",", ":")) + "\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        global_metrics().counter("lake.catalog.rebuilds").inc()
+        return entries
+
+    def load(self) -> list[CatalogEntry]:
+        """The entry set: folded log if present, else a tree scan."""
+        if self.exists():
+            return self.entries()
+        return self.scan()
+
+    def merge_from(self, other_path: str) -> int:
+        """Append another catalog's lines to this one (distributed merge).
+
+        Line-level concatenation is sufficient because reads fold the
+        log — duplicate or out-of-order records resolve identically on
+        every reader.  Returns the number of lines appended.
+        """
+        appended = 0
+        other = Catalog(root=self.root, path=other_path)
+        with open(self.path, "a") as fh:
+            for record in other._iter_lines():
+                fh.write(json.dumps(
+                    record, sort_keys=True, separators=(",", ":")
+                ) + "\n")
+                appended += 1
+        return appended
+
+    # -- summaries ---------------------------------------------------------
+
+    def breakdown(self) -> dict[str, dict[str, dict[str, int]]]:
+        """Per-version, per-workload entry/byte tallies for ``cache --stats``."""
+        out: dict[str, dict[str, dict[str, int]]] = {}
+        for entry in self.load():
+            per_app = out.setdefault(entry.version, {})
+            row = per_app.setdefault(entry.workload, {"entries": 0, "bytes": 0})
+            row["entries"] += 1
+            row["bytes"] += entry.nbytes
+        return out

@@ -353,7 +353,15 @@ def attach_collector(bus: EventBus, collector: Optional[MetricsCollector] = None
 #:   traces materialized on first dense access,
 #: - ``cache.entry_bytes`` (histogram), ``cache.bytes_written`` /
 #:   ``cache.bytes_loaded`` / ``cache.hits`` / ``cache.misses`` — the
-#:   on-disk result cache's footprint and traffic.
+#:   on-disk result cache's footprint and traffic,
+#: - ``cache.corrupt`` — unreadable entries found (and evicted) on load,
+#: - ``trace.materializations`` — every ``RLETrace.to_trace`` call; the
+#:   lake asserts its queries keep this flat (no densification),
+#: - ``lake.*`` — trace-lake activity: ``lake.queries`` /
+#:   ``lake.query.entries`` / ``lake.query.skipped_no_trace``,
+#:   ``lake.kernel_runs`` + ``lake.kernel.<name>``, ``lake.diffs``,
+#:   ``lake.catalog.appends`` / ``append_errors`` / ``rebuilds`` /
+#:   ``skipped_lines``, ``lake.bench.ingests`` / ``dup_ingests``.
 _GLOBAL_REGISTRY = MetricsRegistry()
 
 

@@ -13,6 +13,11 @@ Layout: ``<root>/<repro.__version__>/<spec_key>/`` holding
   only the compressed read until someone touches the dense arrays.
   Entries with no trace file simply had none (``trace_policy="none"``).
 
+Every ``store``/``evict`` also appends a record to the lake catalog
+(``<root>/catalog.jsonl``, see :mod:`repro.lake.catalog`), keeping the
+cross-run index current without a scan; the append is best-effort and a
+stale catalog is always rebuildable from the entries themselves.
+
 Keying by spec hash *and* package version means a version bump
 invalidates every entry wholesale — simulation semantics may have
 changed — without touching older versions' entries.  Writes go through
@@ -34,8 +39,10 @@ import shutil
 import tempfile
 from dataclasses import dataclass
 from typing import Optional
+from zipfile import BadZipFile
 
 import repro
+from repro.obs.logsetup import get_logger
 from repro.obs.metrics import TRANSPORT_BUCKETS_BYTES, global_metrics
 from repro.runner.spec import RunResult, RunSpec
 from repro.sim.traceio import (
@@ -48,6 +55,8 @@ from repro.sim.traceio import (
 
 #: Environment override for the cache root (tests, CI, shared scratch).
 CACHE_DIR_ENV = "REPRO_RUNNER_CACHE"
+
+log = get_logger("runner.cache")
 
 
 def default_cache_dir() -> str:
@@ -116,25 +125,45 @@ class ResultCache:
         self.stats.misses += 1
         global_metrics().counter("cache.misses").inc()
 
+    def _corrupt(self, spec: RunSpec, reason: str) -> None:
+        """Evict a corrupt entry so the bad bytes never get re-read.
+
+        A torn write or bit-rotted file used to report a *silent* miss,
+        leaving the entry in place to fail identically on every future
+        lookup.  Now it is logged, counted (``cache.corrupt``), and
+        evicted — the subsequent re-run overwrites it with a good entry.
+        """
+        entry = self.entry_dir(spec)
+        log.warning("evicting corrupt cache entry %s: %s", entry, reason)
+        global_metrics().counter("cache.corrupt").inc()
+        self.evict(spec)
+        self._miss()
+
     def load(self, spec: RunSpec) -> Optional[RunResult]:
         """Return the cached result for ``spec``, or ``None`` on any miss.
 
-        Unreadable or torn entries count as misses (the batch simply
-        re-runs the simulation), never as errors.  An RLE-stored trace
-        comes back as a :class:`~repro.sim.traceio.LazyTrace`; dense
-        inflation is deferred until first array access.
+        A missing entry is a plain miss; an entry that *exists* but
+        cannot be read back (torn ``result.json``, truncated trace file,
+        scalar-schema mismatch) is corrupt — it is evicted with a
+        warning and a ``cache.corrupt`` count, then reported as a miss
+        so the batch re-runs the simulation.  An RLE-stored trace comes
+        back as a :class:`~repro.sim.traceio.LazyTrace`; dense inflation
+        is deferred until first array access.
         """
         entry = self.entry_dir(spec)
         path = os.path.join(entry, self.RESULT_FILE)
         try:
             with open(path) as f:
                 payload = json.load(f)
-        except (OSError, ValueError):
+        except FileNotFoundError:
             self._miss()
             return None
-        scalars = payload.get("result")
+        except (OSError, ValueError) as exc:
+            self._corrupt(spec, f"unreadable {self.RESULT_FILE} ({exc})")
+            return None
+        scalars = payload.get("result") if isinstance(payload, dict) else None
         if not isinstance(scalars, dict):
-            self._miss()
+            self._corrupt(spec, f"{self.RESULT_FILE} has no result mapping")
             return None
         trace = None
         rle_path = os.path.join(entry, self.RLE_TRACE_FILE)
@@ -144,13 +173,16 @@ class ResultCache:
                 trace = load_trace_lazy(rle_path)
             elif os.path.isfile(trace_path):
                 trace = load_trace(trace_path)
-        except (OSError, ValueError, KeyError):
-            self._miss()
+        except (OSError, ValueError, KeyError, EOFError, BadZipFile) as exc:
+            # numpy's npz reader surfaces truncation as BadZipFile or
+            # EOFError rather than OSError, depending on where the file
+            # was cut.
+            self._corrupt(spec, f"unreadable trace file ({exc})")
             return None
         try:
             result = RunResult(trace=trace, **scalars)
-        except TypeError:
-            self._miss()
+        except TypeError as exc:
+            self._corrupt(spec, f"result scalars do not fit RunResult ({exc})")
             return None
         loaded = _dir_nbytes(entry)
         self.stats.hits += 1
@@ -194,12 +226,20 @@ class ResultCache:
         reg = global_metrics()
         reg.counter("cache.bytes_written").inc(written)
         reg.histogram("cache.entry_bytes", TRANSPORT_BUCKETS_BYTES).observe(written)
+        self._catalog().append_store(self.version, spec.key(), payload, entry)
         return entry
+
+    def _catalog(self):
+        """The lake catalog for this cache root (lazy import, no cycle)."""
+        from repro.lake.catalog import Catalog
+
+        return Catalog(root=self.root)
 
     def evict(self, spec: RunSpec) -> None:
         entry = self.entry_dir(spec)
         if os.path.isdir(entry):
             shutil.rmtree(entry)
+            self._catalog().append_evict(self.version, spec.key())
 
     # -- garbage collection -------------------------------------------------
 

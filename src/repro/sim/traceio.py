@@ -151,7 +151,15 @@ class RLETrace:
         )
 
     def to_trace(self) -> Trace:
-        """Inflate to a dense, finalized :class:`Trace` (bit-exact)."""
+        """Inflate to a dense, finalized :class:`Trace` (bit-exact).
+
+        Every call counts toward ``trace.materializations`` — the lake
+        query kernels assert this counter stays flat, proving cross-run
+        analytics never pay tick-count memory.
+        """
+        from repro.obs.metrics import global_metrics
+
+        global_metrics().counter("trace.materializations").inc()
         n = self.n_ticks
         trace = Trace(self.core_types, list(self.enabled), max_ticks=max(1, n))
         if n:

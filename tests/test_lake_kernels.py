@@ -1,0 +1,195 @@
+"""Golden tests: every RLE-native lake kernel equals dense recompute.
+
+The lake's correctness claim is *bit*-equality, not approximate
+equality: each kernel's result must be identical (``==``, no tolerance)
+to recomputing the same statistic on the inflated dense trace.  Checked
+on real app traces (the distributions the paper cares about) and on
+hypothesis-generated synthetic traces (adversarial run structure), plus
+the no-densification guarantee via the ``trace.materializations``
+counter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.residency import frequency_residency
+from repro.lake.kernels import (
+    cluster_energy,
+    dense_cluster_energy,
+    dense_freq_histogram,
+    dense_migrations,
+    freq_histogram,
+    merge_segments,
+    migrations,
+    residency,
+)
+from repro.obs.metrics import global_metrics, reset_global_metrics
+from repro.platform.chip import exynos5422
+from repro.platform.coretypes import CoreType
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.trace import Trace
+from repro.sim.traceio import RLETrace
+from repro.workloads.mobile import make_app
+
+APPS = ("bbench", "video-player", "browser")
+
+
+@pytest.fixture(scope="module")
+def app_rles():
+    """Short real app runs, as (rle, dense) pairs keyed by app name."""
+    pairs = {}
+    for app in APPS:
+        sim = Simulator(SimConfig(
+            chip=exynos5422(screen_on=True), max_seconds=4.0, seed=0
+        ))
+        make_app(app).install(sim)
+        trace = sim.run()
+        rle = RLETrace.from_trace(trace)
+        pairs[app] = (rle, rle.to_trace())
+    return pairs
+
+
+class TestGoldenOnAppTraces:
+    @pytest.mark.parametrize("app", APPS)
+    @pytest.mark.parametrize("core_type", [CoreType.LITTLE, CoreType.BIG])
+    def test_residency_bit_equal(self, app_rles, app, core_type):
+        rle, dense = app_rles[app]
+        assert residency(rle, core_type) == frequency_residency(dense, core_type)
+
+    @pytest.mark.parametrize("app", APPS)
+    @pytest.mark.parametrize("core_type", [CoreType.LITTLE, CoreType.BIG])
+    def test_freq_histogram_bit_equal(self, app_rles, app, core_type):
+        rle, dense = app_rles[app]
+        assert freq_histogram(rle, core_type) == dense_freq_histogram(
+            dense, core_type
+        )
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_migrations_bit_equal(self, app_rles, app):
+        rle, dense = app_rles[app]
+        assert migrations(rle) == dense_migrations(dense)
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_energy_bit_equal(self, app_rles, app):
+        rle, dense = app_rles[app]
+        assert cluster_energy(rle) == dense_cluster_energy(dense)
+
+    def test_energy_matches_trace_energy_to_float32(self, app_rles):
+        # Trace.energy_mj sums in float32, the kernel in exact float64 —
+        # they must agree to float32 precision, not bit-exactly.
+        rle, dense = app_rles["bbench"]
+        assert cluster_energy(rle)["system_mj"] == pytest.approx(
+            dense.energy_mj(), rel=1e-5
+        )
+
+    def test_kernels_never_materialize(self, app_rles):
+        reset_global_metrics()
+        for app in APPS:
+            rle, _ = app_rles[app]
+            for core_type in (CoreType.LITTLE, CoreType.BIG):
+                residency(rle, core_type)
+                freq_histogram(rle, core_type)
+            migrations(rle)
+            cluster_energy(rle)
+        snap = global_metrics().snapshot()
+        assert snap.counters.get("trace.materializations", 0) == 0
+        assert snap.counters.get("lake.kernel_runs", 0) > 0
+
+
+# -- hypothesis: synthetic traces with adversarial run structure -------------
+
+
+def _make_trace(busy, freq_l, freq_b, power, cpu_l, cpu_b, wakeups) -> Trace:
+    n = busy.shape[1]
+    trace = Trace(
+        [CoreType.LITTLE, CoreType.LITTLE, CoreType.BIG, CoreType.BIG],
+        [True] * 4,
+        max_ticks=max(1, n),
+    )
+    trace._busy[:, :n] = busy
+    trace._freq[0, :n] = freq_l
+    trace._freq[1, :n] = freq_b
+    trace._power[:n] = power
+    trace._cpu_power[0, :n] = cpu_l
+    trace._cpu_power[1, :n] = cpu_b
+    trace._wakeups[:n] = wakeups
+    trace._len = n
+    trace.finalize()
+    return trace
+
+
+@st.composite
+def synthetic_traces(draw):
+    """4-core (2L+2B) traces from small value pools: many boundary ties."""
+    n = draw(st.integers(min_value=1, max_value=60))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**31)))
+    busy = rng.choice(np.array([0.0, 0.5, 1.0], dtype=np.float32), size=(4, n))
+    freq_l = rng.choice(np.array([500_000, 800_000], dtype=np.int32), size=n)
+    freq_b = rng.choice(np.array([800_000, 1_900_000], dtype=np.int32), size=n)
+    power = rng.choice(
+        np.array([0.0, 123.25, 4449.5], dtype=np.float32), size=n
+    )
+    cpu_l = rng.choice(np.array([0.0, 77.125], dtype=np.float32), size=n)
+    cpu_b = rng.choice(np.array([0.0, 912.625], dtype=np.float32), size=n)
+    wakeups = rng.choice(np.array([0, 1, 3], dtype=np.int32), size=n)
+    return _make_trace(busy, freq_l, freq_b, power, cpu_l, cpu_b, wakeups)
+
+
+@settings(max_examples=40, deadline=None)
+@given(synthetic_traces())
+def test_hypothesis_all_kernels_bit_equal(trace):
+    rle = RLETrace.from_trace(trace)
+    dense = rle.to_trace()
+    for core_type in (CoreType.LITTLE, CoreType.BIG):
+        assert residency(rle, core_type) == frequency_residency(dense, core_type)
+        assert freq_histogram(rle, core_type) == dense_freq_histogram(
+            dense, core_type
+        )
+    assert migrations(rle) == dense_migrations(dense)
+    assert cluster_energy(rle) == dense_cluster_energy(dense)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=6),
+            st.integers(min_value=0, max_value=4),
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+    st.integers(min_value=1, max_value=40),
+)
+def test_merge_segments_reconstructs_rows(row_specs, total):
+    # Rows of arbitrary run structure over a common tick count: merging
+    # then re-expanding per segment must reproduce each dense row.
+    rows = []
+    for lengths, seed in row_specs:
+        lengths = np.asarray(lengths, dtype=np.int64)
+        scale = np.maximum(1, total * lengths // lengths.sum())
+        # Force exact coverage of `total` ticks on the last run.
+        scale[-1] = max(1, total - int(scale[:-1].sum()))
+        if scale[:-1].sum() >= total:
+            scale = np.array([total], dtype=np.int64)
+        values = np.arange(seed, seed + len(scale), dtype=np.int32)
+        rows.append((values, scale))
+    seg_values, seg_lengths = merge_segments(rows)
+    assert int(seg_lengths.sum()) == total
+    for (values, lengths), merged in zip(rows, seg_values):
+        dense_row = np.repeat(values, lengths)
+        dense_merged = np.repeat(merged, seg_lengths)
+        np.testing.assert_array_equal(dense_merged, dense_row)
+
+
+def test_empty_trace_kernels():
+    trace = Trace([CoreType.LITTLE, CoreType.BIG], [True, True], max_ticks=1)
+    trace.finalize()
+    rle = RLETrace.from_trace(trace)
+    assert residency(rle, CoreType.LITTLE) == {}
+    assert freq_histogram(rle, CoreType.BIG) == {}
+    assert migrations(rle) == {"up": 0, "down": 0, "total": 0}

@@ -191,6 +191,59 @@ class TestCache:
             f.write("{not json")
         assert cache.load(spec) is None
 
+    def test_corrupt_entry_is_evicted_and_counted(
+        self, tmp_path, caplog, monkeypatch
+    ):
+        import logging
+
+        from repro.obs.metrics import global_metrics, reset_global_metrics
+
+        # A CLI test running earlier may have called setup_logging(),
+        # which sets propagate=False on the "repro" logger — re-enable
+        # propagation so caplog's root handler sees the warning.
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        reset_global_metrics()
+        cache = ResultCache(root=str(tmp_path))
+        spec = SMALL_SPECS[0]
+        cache.store(spec, execute_spec(spec))
+        with open(os.path.join(cache.entry_dir(spec), "result.json"), "w") as f:
+            f.write("{not json")
+        with caplog.at_level("WARNING", logger="repro.runner.cache"):
+            assert cache.load(spec) is None
+        assert not os.path.isdir(cache.entry_dir(spec))
+        assert global_metrics().counter("cache.corrupt").value == 1
+        assert any("corrupt" in r.message for r in caplog.records)
+        # The eviction cleared the bad bytes: a re-store then hits.
+        cache.store(spec, execute_spec(spec))
+        assert cache.load(spec) is not None
+
+    def test_truncated_rle_trace_is_evicted(self, tmp_path):
+        from repro.obs.metrics import global_metrics, reset_global_metrics
+
+        reset_global_metrics()
+        cache = ResultCache(root=str(tmp_path))
+        spec = RunSpec(
+            "video-player", chip="exynos5422", seed=3, max_seconds=1.0,
+            trace_policy="rle",
+        )
+        cache.store(spec, execute_spec(spec))
+        rle_path = os.path.join(cache.entry_dir(spec), "trace.rle")
+        size = os.path.getsize(rle_path)
+        with open(rle_path, "r+b") as f:
+            f.truncate(size // 2)
+        assert cache.load(spec) is None
+        assert not os.path.isdir(cache.entry_dir(spec))
+        assert global_metrics().counter("cache.corrupt").value == 1
+
+    def test_missing_entry_is_plain_miss_not_corrupt(self, tmp_path):
+        from repro.obs.metrics import global_metrics, reset_global_metrics
+
+        reset_global_metrics()
+        cache = ResultCache(root=str(tmp_path))
+        assert cache.load(SMALL_SPECS[0]) is None
+        assert global_metrics().counter("cache.corrupt").value == 0
+        assert global_metrics().counter("cache.misses").value == 1
+
     def test_pyproject_reads_version_from_package(self):
         # Satellite guard: the cache keys on repro.__version__, so the
         # package metadata must be derived from it, not hardcoded.
