@@ -1,6 +1,6 @@
 # Convenience targets for the biglittle-repro repository.
 
-.PHONY: install test bench bench-quick bench-regression check-cache-budget artifacts calibrate examples clean
+.PHONY: install test bench bench-quick bench-regression check-cache-budget dist-smoke artifacts calibrate examples clean
 
 install:
 	pip install -e .
@@ -26,6 +26,11 @@ bench-regression:
 # Blocking CI gate: cached trace.npz / trace.rle entries stay in budget.
 check-cache-budget:
 	PYTHONPATH=src python scripts/check_cache_budget.py
+
+# Distributed execution smoke: 2 localhost TCP workers, results must be
+# identical to the local process-pool backend, merged catalog exported.
+dist-smoke:
+	PYTHONPATH=src python scripts/dist_smoke.py --out-catalog merged-catalog.jsonl
 
 # Regenerate every paper table/figure into results/.
 artifacts:

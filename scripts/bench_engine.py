@@ -28,6 +28,11 @@ Scenario families:
   per-run vs as one lockstep cohort through the batched engine
   (``repro.sim.batchengine``) with witness-certified sweep folding
   (``repro.runner.sweepfold``), cross-checked for identical scalars.
+- *sweep-distributed*: the same 64-variant sweep executed through 4
+  localhost ``biglittle worker`` TCP subprocesses vs the serial per-run
+  runner, cross-checked against the local process-pool backend, plus a
+  concurrent duplicate submission proving the coordinator's global
+  dedup (zero duplicate executions).
 - *lake-query*: 200 cached RLE runs queried through ``repro.lake`` —
   catalog rebuild time and group-by queries/sec, with a hard assertion
   that no query densifies a trace (``trace.materializations`` delta 0).
@@ -340,6 +345,135 @@ def bench_sweep_lockstep(quick: bool):
 
 
 # ---------------------------------------------------------------------------
+# sweep-distributed scenario: TCP workers vs serial execution
+# ---------------------------------------------------------------------------
+
+_DIST_WORKERS = 4
+
+
+def bench_sweep_distributed(quick: bool):
+    """Time the 64-variant sweep through 4 localhost TCP workers.
+
+    Workers are spawned as real ``biglittle worker`` subprocesses
+    (``--no-cache``, so every execution is a genuine simulation) before
+    the clock starts; the serial baseline is the per-run single-worker
+    runner.  The distributed pass ships the sweep as one lockstep
+    cohort — cohorts travel whole, so the speedup is lockstep+folding
+    minus wire overhead, not parallelism.  Results are cross-checked
+    against the local process-pool backend, and a second, *concurrent
+    duplicate* submission of the whole sweep from two runners sharing
+    the coordinator checks global dedup: it must add exactly one more
+    execution of the job, never two (``duplicate_executions`` = specs
+    executed beyond the one job, must be 0).
+    """
+    import os
+    import subprocess
+    import threading
+
+    from repro.dist import Coordinator, DistExecutor
+    from repro.runner import BatchRunner
+
+    sim_seconds = 1.0 if quick else 4.0
+    specs = _sweep_specs(sim_seconds)
+    n = len(specs)
+
+    t0 = time.monotonic()
+    serial = BatchRunner(workers=1, cohorts=False).run(specs)
+    serial.raise_on_failure()
+    serial_s = time.monotonic() - t0
+
+    pool = BatchRunner(
+        workers=_DIST_WORKERS, cohorts=True, executor="pool"
+    ).run(specs)
+    pool.raise_on_failure()
+
+    coord = Coordinator().start()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p
+    )
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker",
+             "--connect", coord.endpoint, "--no-cache",
+             "--id", f"bench-w{i}"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        for i in range(_DIST_WORKERS)
+    ]
+    try:
+        if coord.wait_for_workers(_DIST_WORKERS, timeout_s=120) < _DIST_WORKERS:
+            raise RuntimeError("bench workers failed to connect")
+
+        t0 = time.monotonic()
+        dist = BatchRunner(cohorts=True, executor=DistExecutor(coord)).run(specs)
+        dist.raise_on_failure()
+        dist_s = time.monotonic() - t0
+        mismatches = sum(
+            1 for a, b in zip(pool.results, dist.results)
+            if a.scalars() != b.scalars()
+        )
+
+        # Concurrent duplicate sweep: two runners, one coordinator, one
+        # execution.  Each runner submits its (identical) cohort group
+        # up-front, so the second attaches to the first's in-flight job.
+        before = coord.stats()
+        reports: list = [None, None]
+
+        def _run(slot: int) -> None:
+            report = BatchRunner(
+                cohorts=True, executor=DistExecutor(coord)
+            ).run(specs)
+            report.raise_on_failure()
+            reports[slot] = report
+
+        threads = [
+            threading.Thread(target=_run, args=(slot,)) for slot in (0, 1)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        after = coord.stats()
+        dedup_specs = (
+            after.get("dist.dedup_specs", 0) - before.get("dist.dedup_specs", 0)
+        )
+        executed_delta = (
+            after.get("dist.specs_executed", 0)
+            - before.get("dist.specs_executed", 0)
+        )
+        duplicate_executions = executed_delta - n
+        mismatches += sum(
+            1 for a, b in zip(reports[0].results, reports[1].results)
+            if a.scalars() != b.scalars()
+        )
+        stats = coord.stats()
+    finally:
+        coord.shutdown()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    return {
+        "n_specs": n,
+        "sim_seconds": sim_seconds,
+        "workers": _DIST_WORKERS,
+        "serial_wall_s": serial_s,
+        "dist_wall_s": dist_s,
+        "speedup": serial_s / dist_s if dist_s > 0 else float("inf"),
+        "serial_specs_per_sec": n / serial_s if serial_s > 0 else float("inf"),
+        "dist_specs_per_sec": n / dist_s if dist_s > 0 else float("inf"),
+        "scalar_mismatches": mismatches,
+        "wire_bytes_out": stats.get("dist.bytes_out", 0),
+        "wire_bytes_in": stats.get("dist.bytes_in", 0),
+        "dedup_specs": dedup_specs,
+        "duplicate_executions": duplicate_executions,
+    }
+
+
+# ---------------------------------------------------------------------------
 # explore-small scenario: design-space exploration throughput
 # ---------------------------------------------------------------------------
 
@@ -568,6 +702,19 @@ def main(argv=None) -> int:
           f"speedup {sweep['speedup']:.2f}x, "
           f"mismatches {sweep['scalar_mismatches']}")
 
+    dist = bench_sweep_distributed(args.quick)
+    print(f"\nsweep-distributed ({dist['n_specs']} specs x "
+          f"{dist['sim_seconds']:.0f}s sim, {dist['workers']} TCP workers): "
+          f"serial {dist['serial_wall_s']:.2f}s "
+          f"({dist['serial_specs_per_sec']:.1f} specs/s), "
+          f"distributed {dist['dist_wall_s']:.2f}s "
+          f"({dist['dist_specs_per_sec']:.1f} specs/s), "
+          f"speedup {dist['speedup']:.2f}x, "
+          f"wire {dist['wire_bytes_out'] + dist['wire_bytes_in']} B, "
+          f"dedup {dist['dedup_specs']} specs, "
+          f"{dist['duplicate_executions']} duplicate executions, "
+          f"mismatches {dist['scalar_mismatches']}")
+
     explore = bench_explore_small(args.quick)
     print(f"\nexplore-small ({explore['n_points']} points x "
           f"{explore['full_horizon_s']:.0f}s horizon, grid sampler): "
@@ -596,6 +743,7 @@ def main(argv=None) -> int:
             "scenarios": rows,
             "batch_transport": transport,
             "sweep_lockstep": sweep,
+            "sweep_distributed": dist,
             "explore_small": explore,
             "lake_query": lake,
             "best_speedup": best["speedup"],

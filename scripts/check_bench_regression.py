@@ -55,6 +55,7 @@ SPEEDUP_FLOORS = {
 
 #: Floors for the non-engine scenarios (same same-machine-ratio logic).
 SWEEP_SPEEDUP_FLOOR = 1.5          # lockstep cohort vs per-run (4.3-4.7x observed)
+DIST_SPEEDUP_FLOOR = 3.0           # 4 TCP workers vs serial per-run (~5-6x observed)
 TRANSPORT_BYTES_FLOORS = {"rle": 150.0, "none": 1500.0}   # vs full policy
 LAKE_MIN_ENTRIES = 200
 
@@ -112,6 +113,24 @@ def check(fresh: dict, baseline: dict) -> tuple[list[str], list[str]]:
         line = (f"sweep-lockstep: speedup {speedup:.2f}x "
                 f"(floor {SWEEP_SPEEDUP_FLOOR:.2f}x)")
         ok(line) if speedup >= SWEEP_SPEEDUP_FLOOR else fail(line)
+
+    dist = fresh.get("sweep_distributed")
+    if not isinstance(dist, dict):
+        if "sweep_distributed" in baseline:
+            fail("sweep_distributed section missing from fresh run")
+    else:
+        mismatches = int(dist.get("scalar_mismatches", -1))
+        line = (f"sweep-distributed: {mismatches} scalar mismatches vs "
+                f"local pool (must be 0)")
+        ok(line) if mismatches == 0 else fail(line)
+        duplicates = int(dist.get("duplicate_executions", -1))
+        line = (f"sweep-distributed: {duplicates} duplicate executions "
+                f"on concurrent submission (must be 0)")
+        ok(line) if duplicates == 0 else fail(line)
+        speedup = float(dist.get("speedup", 0.0))
+        line = (f"sweep-distributed: speedup {speedup:.2f}x "
+                f"(floor {DIST_SPEEDUP_FLOOR:.2f}x)")
+        ok(line) if speedup >= DIST_SPEEDUP_FLOOR else fail(line)
 
     policies = (fresh.get("batch_transport") or {}).get("policies") or {}
     for policy, floor in sorted(TRANSPORT_BYTES_FLOORS.items()):

@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""CI smoke test for distributed sweep execution.
+
+Spawns two real ``biglittle worker`` subprocesses on localhost TCP, runs
+a small mixed-policy sweep through the coordinator, and asserts the
+results are **identical** to the local process-pool backend — scalars
+exactly equal, RLE traces bit-equal after materialization.  Along the
+way it checks the shared-store plumbing: each worker stores into its
+own cache, ships its lake catalog delta home, and the coordinator's
+merged catalog must index every simulated spec.
+
+Usage::
+
+    PYTHONPATH=src python scripts/dist_smoke.py --out-catalog merged-catalog.jsonl
+
+Exit status 0 on success; any mismatch or missing catalog entry fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+N_WORKERS = 2
+SIM_SECONDS = 1.0
+
+
+def _specs():
+    from repro.runner import RunSpec
+
+    # Mixed trace policies: "rle" exercises the binary blob path and
+    # worker-side cache storage; "none" the scalars-only fast path.
+    specs = [
+        RunSpec("pdf-reader", seed=seed, max_seconds=SIM_SECONDS,
+                trace_policy="rle")
+        for seed in (1, 2, 3, 4)
+    ]
+    specs += [
+        RunSpec("video-player", seed=seed, max_seconds=SIM_SECONDS,
+                trace_policy="none", reductions=("power_summary",))
+        for seed in (1, 2)
+    ]
+    return specs
+
+
+def _spawn_worker(endpoint: str, cache_dir: str, idx: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "worker",
+         "--connect", endpoint, "--cache-dir", cache_dir,
+         "--id", f"smoke-w{idx}"],
+        cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-catalog", metavar="PATH", default=None,
+                        help="copy the merged lake catalog here (CI artifact)")
+    args = parser.parse_args(argv)
+
+    from repro.dist import Coordinator, DistExecutor
+    from repro.lake.catalog import Catalog
+    from repro.runner import BatchRunner
+
+    specs = _specs()
+
+    print(f"dist-smoke: {len(specs)} specs x {SIM_SECONDS:.0f}s sim, "
+          f"{N_WORKERS} localhost TCP workers")
+
+    t0 = time.monotonic()
+    pool = BatchRunner(workers=N_WORKERS, executor="pool").run(specs)
+    pool.raise_on_failure()
+    print(f"  local pool backend: {time.monotonic() - t0:.2f}s")
+
+    scratch = tempfile.mkdtemp(prefix="dist-smoke-")
+    lake_root = os.path.join(scratch, "lake")
+    coord = Coordinator(cache_root=lake_root).start()
+    procs = [
+        _spawn_worker(coord.endpoint, os.path.join(scratch, f"wcache{i}"), i)
+        for i in range(N_WORKERS)
+    ]
+    try:
+        connected = coord.wait_for_workers(N_WORKERS, timeout_s=60)
+        if connected < N_WORKERS:
+            print(f"FAIL: only {connected}/{N_WORKERS} workers connected")
+            return 1
+        t0 = time.monotonic()
+        dist = BatchRunner(executor=DistExecutor(coord)).run(specs)
+        dist.raise_on_failure()
+        print(f"  distributed backend: {time.monotonic() - t0:.2f}s "
+              f"({dist.transport_bytes} transport bytes)")
+        stats = coord.stats()
+    finally:
+        coord.shutdown()
+        for proc in procs:
+            try:
+                out, _ = proc.communicate(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                out, _ = proc.communicate()
+            if proc.returncode != 0:
+                print(f"worker exited {proc.returncode}:\n{out}")
+
+    failures = 0
+    for spec, local, remote in zip(specs, pool.results, dist.results):
+        label = spec.label()
+        if remote.scalars() != local.scalars():
+            print(f"FAIL: scalars differ for {label}")
+            failures += 1
+            continue
+        if spec.trace_policy == "rle":
+            a, b = local.trace.materialize(), remote.trace.materialize()
+            if not (np.array_equal(a.busy, b.busy)
+                    and np.array_equal(a.power_mw, b.power_mw)
+                    and np.array_equal(a.wakeups, b.wakeups)):
+                print(f"FAIL: RLE trace differs for {label}")
+                failures += 1
+                continue
+        print(f"  identical: {label} ({spec.trace_policy})")
+
+    catalog = Catalog(root=lake_root)
+    entries = catalog.load() if catalog.exists() else []
+    indexed = {e.spec_key for e in entries}
+    expected = {s.key() for s in specs}
+    missing = expected - indexed
+    print(f"  merged catalog: {len(entries)} entries "
+          f"({stats.get('dist.catalog_lines_merged', 0)} lines shipped)")
+    if missing:
+        print(f"FAIL: {len(missing)} specs missing from merged catalog")
+        failures += 1
+    if args.out_catalog:
+        if catalog.exists():
+            shutil.copyfile(catalog.path, args.out_catalog)
+            print(f"  catalog artifact -> {args.out_catalog}")
+        else:
+            print("FAIL: no merged catalog to export")
+            failures += 1
+
+    shutil.rmtree(scratch, ignore_errors=True)
+    if failures:
+        print(f"\nFAIL: {failures} dist-smoke check(s) failed")
+        return 1
+    print(f"\nOK: distributed results identical to local pool backend "
+          f"({len(specs)} specs, {stats.get('dist.jobs_executed', 0)} jobs, "
+          f"{stats.get('dist.bytes_in', 0) + stats.get('dist.bytes_out', 0)} "
+          f"wire bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -244,6 +244,7 @@ def _make_runner(args: argparse.Namespace, cohorts: bool = False):
         retries=getattr(args, "retries", 1),
         log_path=getattr(args, "log", None),
         cohorts=cohorts and not getattr(args, "no_batched", False),
+        executor=getattr(args, "executor", None),
     )
 
 
@@ -298,6 +299,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         dump_result(result, args.json)
         log.info("json written to %s", args.json)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Serve distributed sweep jobs pulled from a coordinator."""
+    from repro.dist import run_worker
+    from repro.runner import ResultCache
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(root=args.cache_dir)
+    jobs = run_worker(
+        args.connect,
+        cache=cache,
+        worker_id=args.id,
+        connect_timeout_s=args.connect_timeout,
+    )
+    log.info("worker session over: %d job(s) served", jobs)
     return 0
 
 
@@ -505,6 +524,11 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
                         help="disable lockstep-cohort batching where it is on "
                              "by default (sweep/explore); results are "
                              "bit-identical either way")
+    parser.add_argument("--executor", metavar="BACKEND", default=None,
+                        help="execution backend: 'serial', 'pool', or "
+                             "tcp://HOST:PORT to coordinate remote "
+                             "'biglittle worker' processes (default: "
+                             "serial/pool from --workers)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -622,6 +646,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the result as JSON")
     _add_runner_options(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="serve distributed sweep jobs from a coordinator "
+             "(see 'sweep --executor tcp://...')",
+    )
+    p_worker.add_argument("--connect", required=True, metavar="tcp://HOST:PORT",
+                          help="coordinator endpoint to pull jobs from")
+    p_worker.add_argument("--cache-dir", default=None,
+                          help="local result-cache root; cached specs are "
+                               "answered without re-simulating and catalog "
+                               "deltas ship back to the coordinator")
+    p_worker.add_argument("--no-cache", action="store_true",
+                          help="disable the local result cache")
+    p_worker.add_argument("--id", default=None,
+                          help="worker id shown in coordinator logs "
+                               "(default: host-pid)")
+    p_worker.add_argument("--connect-timeout", type=float, default=30.0,
+                          metavar="S",
+                          help="give up dialing the coordinator after S "
+                               "seconds (default 30)")
+    p_worker.set_defaults(func=_cmd_worker)
 
     p_explore = sub.add_parser(
         "explore",

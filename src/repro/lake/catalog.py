@@ -245,13 +245,24 @@ class Catalog:
     # -- incremental writes ------------------------------------------------
 
     def _append(self, record: dict[str, Any]) -> bool:
-        """Append one log line; best-effort (returns False on I/O error)."""
+        """Append one log line; best-effort (returns False on I/O error).
+
+        The line is written with one ``os.write`` on an ``O_APPEND`` fd:
+        POSIX guarantees the seek+write is atomic, so concurrent writers
+        (pool workers, distributed workers sharing a cache root) can
+        never interleave bytes mid-line.
+        """
         record = {"schema": CATALOG_SCHEMA_VERSION, **record}
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         try:
             os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
-            with open(self.path, "a") as fh:
-                fh.write(line + "\n")
+            fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, (line + "\n").encode())
+            finally:
+                os.close(fd)
         except OSError as exc:
             global_metrics().counter("lake.catalog.append_errors").inc()
             log.warning("catalog append to %s failed: %s", self.path, exc)
@@ -410,15 +421,24 @@ class Catalog:
         log — duplicate or out-of-order records resolve identically on
         every reader.  Returns the number of lines appended.
         """
-        appended = 0
+        lines = []
         other = Catalog(root=self.root, path=other_path)
-        with open(self.path, "a") as fh:
-            for record in other._iter_lines():
-                fh.write(json.dumps(
-                    record, sort_keys=True, separators=(",", ":")
-                ) + "\n")
-                appended += 1
-        return appended
+        for record in other._iter_lines():
+            lines.append(
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+            )
+        if lines:
+            # One O_APPEND write for the whole delta: atomic against
+            # concurrent appenders, same as ``_append``.
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, ("\n".join(lines) + "\n").encode())
+            finally:
+                os.close(fd)
+        return len(lines)
 
     # -- summaries ---------------------------------------------------------
 

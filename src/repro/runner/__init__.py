@@ -36,6 +36,13 @@ from repro.runner.batch import (
 )
 from repro.runner.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
 from repro.runner.events import EventSink, RunnerEvent
+from repro.runner.executors import (
+    Completion,
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from repro.runner.spec import (
     DEFAULT_CHIP_ID,
     RunResult,
@@ -50,10 +57,15 @@ __all__ = [
     "BatchReport",
     "BatchRunner",
     "CACHE_DIR_ENV",
+    "Completion",
     "DEFAULT_CHIP_ID",
     "EventSink",
+    "Executor",
     "JobRecord",
     "JobTimeout",
+    "PoolExecutor",
+    "SerialExecutor",
+    "make_executor",
     "ResultCache",
     "RunResult",
     "RunSpec",

@@ -1,50 +1,70 @@
 """Parallel, cached, fault-tolerant execution of :class:`RunSpec` batches.
 
 :class:`BatchRunner` is the single execution path for every multi-run
-experiment in the repository.  It shards a list of specs across a
-``ProcessPoolExecutor`` (each (workload, config, seed) simulation is
-independent and deterministic), consults the on-disk
-:class:`~repro.runner.cache.ResultCache` before simulating anything, and
-returns results **in spec order** regardless of completion order — so a
-parallel run is bit-identical to the serial inline path
-(``workers=1`` or ``REPRO_RUNNER_SERIAL=1``).
+experiment in the repository.  It consults the on-disk
+:class:`~repro.runner.cache.ResultCache` before simulating anything,
+hands the remaining work to a pluggable :class:`~repro.runner.executors.
+Executor` backend, and returns results **in spec order** regardless of
+completion order — so every backend is bit-identical to the serial
+inline path (``workers=1`` or ``REPRO_RUNNER_SERIAL=1``).
 
-Fault tolerance:
+Backends (see :mod:`repro.runner.executors`):
+
+- ``SerialExecutor`` — inline, nothing crosses a process boundary;
+- ``PoolExecutor`` — a ``ProcessPoolExecutor`` shard across local
+  cores, with crash recovery;
+- ``repro.dist.DistExecutor`` — TCP workers on other hosts pulling
+  jobs from a coordinator (``executor="tcp://host:port"``).
+
+Fault tolerance (identical across backends):
 
 - per-job **timeouts** are enforced *inside* the executing process via
   ``SIGALRM`` (they interrupt a genuinely hung simulation and surface as
-  an ordinary job failure, never poisoning the pool);
-- a **worker crash** breaks the pool; the runner rebuilds it and
-  resubmits every unfinished job, charging each one attempt (the crash
-  is attributable to one of them but the executor cannot say which);
+  an ordinary job failure, never poisoning the backend); the distributed
+  backend adds a coordinator-side deadline for workers that cannot arm
+  an alarm or have wedged entirely;
+- a **worker death** (pool crash, killed remote worker) surfaces as a
+  ``worker_died`` completion; the runner charges the group one attempt
+  and resubmits it — the crash is attributable to one of its jobs but
+  the executor cannot say which;
 - every job gets up to ``retries`` re-executions before it is recorded
   as ``failed``/``timeout`` in the :class:`BatchReport` — one bad job
   never aborts the batch.
 
 Lockstep cohorts (``cohorts=True``): compatible specs — same workload,
 chip, core config, and horizon — are grouped and advanced together by
-one :class:`repro.sim.batchengine.BatchSimulator` per group (one pool
-job per cohort on the parallel path).  Results, ``BatchReport.jobs``
-order and labels, and cache entries are identical to per-run execution;
-any cohort failure falls back to per-run execution of its members with
+one :class:`repro.sim.batchengine.BatchSimulator` per group.  A cohort
+is also the unit an executor receives (one pool job / one distributed
+job per cohort), because splitting a fold family forfeits the sweep
+folding that makes cohorts fast.  Results, ``BatchReport.jobs`` order
+and labels, and cache entries are identical to per-run execution; any
+cohort failure falls back to per-run execution of its members with
 their retry budgets intact.
 """
 
 from __future__ import annotations
 
 import os
-import signal
-import threading
 import time
-from concurrent.futures import as_completed
-from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.obs.metrics import TRANSPORT_BUCKETS_BYTES, global_metrics
 from repro.runner.cache import ResultCache
 from repro.runner.events import EventCallback, EventSink
-from repro.runner.spec import RunResult, RunSpec, execute_spec
+from repro.runner.executors import (  # noqa: F401  (re-exported: public API + test hooks)
+    Completion,
+    Executor,
+    JobTimeout,
+    PoolExecutor,
+    SerialExecutor,
+    _alarmed,
+    _execute_cohort_job,
+    _execute_job,
+    _worker_init,
+    make_executor,
+)
+from repro.runner.spec import RunResult, RunSpec
 
 #: Setting this to ``1`` forces the serial inline path regardless of
 #: ``workers`` — the escape hatch for debugging and for provably
@@ -56,87 +76,6 @@ STATUS_OK = "ok"
 STATUS_CACHED = "cached"
 STATUS_FAILED = "failed"
 STATUS_TIMEOUT = "timeout"
-
-
-class JobTimeout(Exception):
-    """A job exceeded its per-job wall-clock budget."""
-
-
-def _worker_init() -> None:
-    """Pre-warm a pool worker before its first job.
-
-    Building the default chip here populates the per-process chip memo
-    (:func:`repro.runner.spec.resolve_chip`) and pulls the simulator
-    stack through import, so the one-time cost lands at pool start-up
-    instead of inside the first job's measured duration and SIGALRM
-    budget.
-    """
-    from repro.runner.spec import DEFAULT_CHIP_ID, resolve_chip
-
-    resolve_chip(DEFAULT_CHIP_ID)
-
-
-def _alarmed(fn, timeout_s: Optional[float], label: str):
-    """Run ``fn()`` under an optional in-process ``SIGALRM`` timeout.
-
-    Module-level machinery shared by single-spec and cohort jobs.  The
-    alarm is only armed in a main thread (workers always are); elsewhere
-    the job runs untimed rather than failing.
-
-    Handler hygiene: the previous ``SIGALRM`` disposition is restored
-    and the itimer cancelled on **every** exit path — success, job
-    exception, timeout, and even a failure while arming the timer —
-    via nested ``try``/``finally``.  A leaked handler would fire inside
-    the *next* job on this worker (the retry/crash branch reuses the
-    process), mis-attributing the timeout.
-    """
-    use_alarm = (
-        timeout_s is not None
-        and timeout_s > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not use_alarm:
-        return fn()
-
-    def _on_alarm(_signum, _frame):  # pragma: no cover - exercised via raise
-        raise JobTimeout(f"job exceeded {timeout_s:.3f}s: {label}")
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    try:
-        signal.setitimer(signal.ITIMER_REAL, timeout_s)
-        try:
-            return fn()
-        finally:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-    finally:
-        signal.signal(signal.SIGALRM, previous)
-
-
-def _execute_job(
-    spec: RunSpec, timeout_s: Optional[float], in_pool: bool = False
-) -> RunResult:
-    """Execute one spec with an optional in-process alarm timeout."""
-    return _alarmed(
-        lambda: execute_spec(spec, in_pool=in_pool), timeout_s, spec.label()
-    )
-
-
-def _execute_cohort_job(
-    specs: list[RunSpec], timeout_s: Optional[float], in_pool: bool = False
-) -> list[RunResult]:
-    """Execute one lockstep cohort, budgeted at ``timeout_s`` per member.
-
-    The cohort does the work of ``len(specs)`` jobs in one process, so
-    its wall-clock budget scales with its size; on timeout (or any
-    other failure) the caller falls back to per-run execution, where
-    each member gets its own ordinary budget.
-    """
-    from repro.runner.cohort import execute_cohort
-
-    budget = timeout_s * len(specs) if timeout_s else timeout_s
-    label = f"cohort[{len(specs)}] {specs[0].label()}"
-    return _alarmed(lambda: execute_cohort(specs, in_pool=in_pool), budget, label)
 
 
 @dataclass
@@ -208,6 +147,46 @@ class BatchReport:
                 f"{len(failures)}/{self.n_jobs} batch jobs failed: {detail}"
             )
 
+    @classmethod
+    def merge(cls, reports: Sequence["BatchReport"]) -> "BatchReport":
+        """Aggregate reports from several executors into one.
+
+        Jobs (and their results) are re-ordered by ``(label, spec_key)``
+        — *not* arrival order, which differs between executors and runs
+        — and re-indexed, so a merged report is deterministic no matter
+        which backend finished first.  Equal-key duplicates (the same
+        spec run by two executors) keep their input order, so the merge
+        is stable.  ``transport_bytes``/``shm_bytes`` and the cache
+        counters are summed; ``wall_s`` is the maximum (the executors
+        ran concurrently); ``workers`` is the sum of the backends'
+        parallelism.
+        """
+        pairs: list[tuple[str, str, JobRecord, Optional[RunResult]]] = []
+        for report in reports:
+            for job in report.jobs:
+                result = (
+                    report.results[job.index]
+                    if 0 <= job.index < len(report.results)
+                    else None
+                )
+                pairs.append((job.label, job.spec_key, job, result))
+        pairs.sort(key=lambda p: (p[0], p[1]))
+        jobs: list[JobRecord] = []
+        results: list[Optional[RunResult]] = []
+        for i, (_label, _key, job, result) in enumerate(pairs):
+            jobs.append(replace(job, index=i))
+            results.append(result)
+        return cls(
+            results=results,
+            jobs=jobs,
+            workers=sum(r.workers for r in reports),
+            wall_s=max((r.wall_s for r in reports), default=0.0),
+            cache_hits=sum(r.cache_hits for r in reports),
+            cache_misses=sum(r.cache_misses for r in reports),
+            transport_bytes=sum(r.transport_bytes for r in reports),
+            shm_bytes=sum(r.shm_bytes for r in reports),
+        )
+
     def render(self) -> str:
         from repro.core.report import render_table
 
@@ -270,6 +249,13 @@ class BatchRunner:
             identical to per-run execution; a failing cohort falls back
             to per-run for its members.  ``REPRO_ENGINE_BATCHED=0``
             disables grouping regardless of this flag.
+        executor: execution backend override — an
+            :class:`~repro.runner.executors.Executor` instance (shared;
+            the runner will not close it), ``"serial"``, ``"pool"``, or
+            a ``tcp://host:port`` endpoint that starts a
+            :class:`repro.dist.Coordinator` for remote ``biglittle
+            worker`` processes.  ``None`` (default) picks serial or
+            pool from ``workers``/``REPRO_RUNNER_SERIAL``.
     """
 
     def __init__(
@@ -281,6 +267,7 @@ class BatchRunner:
         on_event: Optional[EventCallback] = None,
         log_path: Optional[str] = None,
         cohorts: bool = False,
+        executor: Union[Executor, str, None] = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -298,6 +285,7 @@ class BatchRunner:
         self.on_event = on_event
         self.log_path = log_path
         self.cohorts = cohorts
+        self.executor = executor
         self._transport_bytes = 0
         self._shm_bytes = 0
 
@@ -309,64 +297,80 @@ class BatchRunner:
         n = len(spec_list)
         results: list[Optional[RunResult]] = [None] * n
         records: list[Optional[JobRecord]] = [None] * n
-        serial = self.workers == 1 or os.environ.get(SERIAL_ENV) == "1"
+        serial = (
+            self.executor is None
+            and (self.workers == 1 or os.environ.get(SERIAL_ENV) == "1")
+        ) or self.executor == "serial"
+        executor, owned = make_executor(
+            self.executor,
+            self.workers,
+            serial,
+            cache_root=self.cache.root if self.cache is not None else None,
+        )
+        serial = isinstance(executor, SerialExecutor)
         self._transport_bytes = 0
         self._shm_bytes = 0
         t0 = time.monotonic()
 
-        with EventSink(self.on_event, self.log_path) as sink:
-            sink.emit(
-                "batch_start",
-                extra={
-                    "n_jobs": n,
-                    "workers": 1 if serial else min(self.workers, max(1, n)),
-                    "serial": serial,
-                },
-            )
-            pending: list[_Job] = []
-            cache_hits = 0
-            for i, spec in enumerate(spec_list):
-                cached = self.cache.load(spec) if self.cache is not None else None
-                if cached is not None:
-                    cache_hits += 1
-                    results[i] = cached
-                    records[i] = JobRecord(
-                        index=i, spec_key=spec.key(), label=spec.label(),
-                        status=STATUS_CACHED, attempts=0, duration_s=0.0,
-                    )
-                    sink.emit(
-                        "cache_hit", index=i, spec_key=spec.key(),
-                        label=spec.label(), status=STATUS_CACHED,
-                    )
-                else:
-                    pending.append(_Job(index=i, spec=spec))
+        try:
+            with EventSink(self.on_event, self.log_path) as sink:
+                sink.emit(
+                    "batch_start",
+                    extra={
+                        "n_jobs": n,
+                        "workers": (
+                            1 if serial
+                            else min(executor.parallelism(), max(1, n))
+                        ),
+                        "serial": serial,
+                        "executor": type(executor).__name__,
+                    },
+                )
+                pending: list[_Job] = []
+                cache_hits = 0
+                for i, spec in enumerate(spec_list):
+                    cached = self.cache.load(spec) if self.cache is not None else None
+                    if cached is not None:
+                        cache_hits += 1
+                        results[i] = cached
+                        records[i] = JobRecord(
+                            index=i, spec_key=spec.key(), label=spec.label(),
+                            status=STATUS_CACHED, attempts=0, duration_s=0.0,
+                        )
+                        sink.emit(
+                            "cache_hit", index=i, spec_key=spec.key(),
+                            label=spec.label(), status=STATUS_CACHED,
+                        )
+                    else:
+                        pending.append(_Job(index=i, spec=spec))
 
-            groups = self._group_pending(pending, sink)
-            if serial:
-                self._run_serial(groups, results, records, sink)
-            elif pending:
-                self._run_parallel(groups, results, records, sink)
+                groups = self._group_pending(pending, sink, executor)
+                if groups:
+                    self._drive(groups, executor, results, records, sink)
 
-            wall_s = time.monotonic() - t0
-            report = BatchReport(
-                results=results,
-                jobs=[r for r in records if r is not None],
-                workers=1 if serial else self.workers,
-                wall_s=wall_s,
-                cache_hits=cache_hits,
-                cache_misses=len(pending),
-                transport_bytes=self._transport_bytes,
-                shm_bytes=self._shm_bytes,
-            )
-            sink.emit(
-                "batch_done",
-                extra={
-                    "ok": report.ok_count,
-                    "failed": report.failed_count,
-                    "cache_hits": cache_hits,
-                    "wall_s": round(wall_s, 3),
-                },
-            )
+                wall_s = time.monotonic() - t0
+                report = BatchReport(
+                    results=results,
+                    jobs=[r for r in records if r is not None],
+                    workers=1 if serial else executor.parallelism(),
+                    wall_s=wall_s,
+                    cache_hits=cache_hits,
+                    cache_misses=len(pending),
+                    transport_bytes=self._transport_bytes,
+                    shm_bytes=self._shm_bytes,
+                )
+                sink.emit(
+                    "batch_done",
+                    extra={
+                        "ok": report.ok_count,
+                        "failed": report.failed_count,
+                        "cache_hits": cache_hits,
+                        "wall_s": round(wall_s, 3),
+                    },
+                )
+        finally:
+            if owned:
+                executor.close()
         return report
 
     def run_one(self, spec: RunSpec) -> RunResult:
@@ -380,18 +384,24 @@ class BatchRunner:
     # -- cohort grouping ----------------------------------------------------
 
     def _group_pending(
-        self, pending: Sequence[_Job], sink: EventSink
+        self, pending: Sequence[_Job], sink: EventSink, executor: Executor
     ) -> list[list[_Job]]:
         """Partition pending jobs into execution groups.
 
         Singleton groups everywhere unless cohort mode is on (and not
-        pinned off via ``REPRO_ENGINE_BATCHED``); grouping preserves
-        submit order within each cohort, and records/results stay keyed
-        by the original spec index either way.
+        pinned off via ``REPRO_ENGINE_BATCHED``, and the executor can
+        take whole cohorts); grouping preserves submit order within
+        each cohort, and records/results stay keyed by the original
+        spec index either way.
         """
         from repro.sim.batchengine import batching_enabled
 
-        if not (self.cohorts and batching_enabled() and len(pending) > 1):
+        if not (
+            self.cohorts
+            and batching_enabled()
+            and executor.supports_cohorts
+            and len(pending) > 1
+        ):
             return [[job] for job in pending]
         from repro.runner.cohort import group_indices
 
@@ -433,11 +443,12 @@ class BatchRunner:
     # -- outcome bookkeeping ------------------------------------------------
 
     def _account_transport(self, result: RunResult) -> None:
-        """Record one pool result's payload size; rehydrate shm traces.
+        """Record one transported result's payload size; rehydrate shm traces.
 
-        Called only on the parallel path (serial/inline results never
-        cross a process boundary).  A ``"shm"``-policy result arrives as
-        a :class:`~repro.runner.shm.ShmTraceHandle`; it is converted
+        Called only when results crossed a process boundary (pool or
+        distributed backends; serial/inline results never do).  A
+        ``"shm"``-policy result arrives as a
+        :class:`~repro.runner.shm.ShmTraceHandle`; it is converted
         back to a dense :class:`~repro.sim.trace.Trace` here — before
         caching — and its bytes are charged to ``runner.shm.bytes``
         rather than the pickle-transport counters.
@@ -510,54 +521,6 @@ class BatchRunner:
             return True
         return False
 
-    # -- serial path --------------------------------------------------------
-
-    def _run_serial(
-        self,
-        groups: Sequence[Sequence[_Job]],
-        results: list[Optional[RunResult]],
-        records: list[Optional[JobRecord]],
-        sink: EventSink,
-    ) -> None:
-        for group in groups:
-            if len(group) > 1:
-                attempt_t0 = time.monotonic()
-                try:
-                    cohort_results = _execute_cohort_job(
-                        [job.spec for job in group], self.timeout_s
-                    )
-                except Exception as exc:
-                    elapsed = time.monotonic() - attempt_t0
-                    for job in group:
-                        job.duration_s += elapsed
-                    self._cohort_fallback(group, exc, sink)
-                    # Fall through to the per-job loop below.
-                else:
-                    elapsed = time.monotonic() - attempt_t0
-                    for job, result in zip(group, cohort_results):
-                        job.attempts += 1
-                        job.duration_s += elapsed
-                        self._finish_ok(job, result, results, records, sink)
-                    continue
-            for job in group:
-                while True:
-                    job.attempts += 1
-                    attempt_t0 = time.monotonic()
-                    try:
-                        result = _execute_job(job.spec, self.timeout_s)
-                    except Exception as exc:
-                        job.duration_s += time.monotonic() - attempt_t0
-                        if self._should_retry(job, exc, sink):
-                            continue
-                        self._finish_failed(job, exc, records, sink)
-                        break
-                    else:
-                        job.duration_s += time.monotonic() - attempt_t0
-                        self._finish_ok(job, result, results, records, sink)
-                        break
-
-    # -- parallel path ------------------------------------------------------
-
     def _finish_group_ok(
         self,
         group: Sequence[_Job],
@@ -565,110 +528,82 @@ class BatchRunner:
         results: list[Optional[RunResult]],
         records: list[Optional[JobRecord]],
         sink: EventSink,
+        transported: bool,
     ) -> None:
-        """Record a successful group future (cohort list or single result)."""
+        """Record a successful group completion (cohort list or single result)."""
         if len(group) > 1:
             for job, result in zip(group, payload):
                 job.attempts += 1
-                self._finish_ok(job, result, results, records, sink, transported=True)
+                self._finish_ok(
+                    job, result, results, records, sink, transported=transported
+                )
         else:
             self._finish_ok(
-                group[0], payload, results, records, sink, transported=True
+                group[0], payload, results, records, sink, transported=transported
             )
 
-    def _run_parallel(
+    # -- driver -------------------------------------------------------------
+
+    def _drive(
         self,
         groups: Sequence[Sequence[_Job]],
+        executor: Executor,
         results: list[Optional[RunResult]],
         records: list[Optional[JobRecord]],
         sink: EventSink,
     ) -> None:
-        todo: list[list[_Job]] = [list(group) for group in groups]
-        while todo:
-            max_workers = min(self.workers, len(todo))
-            retry_next: list[list[_Job]] = []
-            submit_t: dict[int, float] = {}
-            with ProcessPoolExecutor(
-                max_workers=max_workers, initializer=_worker_init
-            ) as pool:
-                futures = {}
-                for group in todo:
-                    submit_now = time.monotonic()
-                    for job in group:
-                        submit_t[job.index] = submit_now
-                    if len(group) > 1:
-                        # Cohort attempts are charged on completion, not
-                        # here — a failing cohort falls back per-run with
-                        # the members' retry budgets untouched.
-                        fut = pool.submit(
-                            _execute_cohort_job,
-                            [job.spec for job in group],
-                            self.timeout_s,
-                            True,
-                        )
-                    else:
-                        group[0].attempts += 1
-                        fut = pool.submit(
-                            _execute_job, group[0].spec, self.timeout_s, True
-                        )
-                    futures[fut] = group
-                broken = False
-                settled: set[int] = set()
-                try:
-                    for fut in as_completed(futures):
-                        group = futures[fut]
-                        elapsed = time.monotonic() - submit_t[group[0].index]
-                        try:
-                            payload = fut.result()
-                        except BrokenProcessPool:
-                            broken = True
-                            break
-                        except Exception as exc:
-                            for job in group:
-                                job.duration_s += elapsed
-                                settled.add(job.index)
-                            if len(group) > 1:
-                                retry_next.extend(
-                                    self._cohort_fallback(group, exc, sink)
-                                )
-                            elif self._should_retry(group[0], exc, sink):
-                                retry_next.append([group[0]])
-                            else:
-                                self._finish_failed(group[0], exc, records, sink)
-                        else:
-                            for job in group:
-                                job.duration_s += elapsed
-                                settled.add(job.index)
-                            self._finish_group_ok(
-                                group, payload, results, records, sink
-                            )
-                except BrokenProcessPool:
-                    broken = True
-                if broken:
-                    # The pool died with one (unidentifiable) job to blame:
-                    # collect any results that did land, then charge every
-                    # unfinished job one attempt and resubmit survivors in
-                    # a fresh pool (cohorts fall back per-run).
-                    crash = BrokenProcessPool("worker process crashed")
-                    for fut, group in futures.items():
-                        if group[0].index in settled:
-                            continue
-                        elapsed = time.monotonic() - submit_t[group[0].index]
-                        for job in group:
-                            job.duration_s += elapsed
-                        if fut.done() and fut.exception() is None:
-                            self._finish_group_ok(
-                                group, fut.result(), results, records, sink
-                            )
-                        elif len(group) > 1:
-                            retry_next.extend(
-                                self._cohort_fallback(group, crash, sink)
-                            )
-                        elif self._should_retry(group[0], crash, sink):
-                            retry_next.append([group[0]])
-                        else:
-                            self._finish_failed(group[0], crash, records, sink)
-            todo = retry_next
+        """Submit groups and consume completions until nothing is in flight.
+
+        Attempt accounting is the historical contract: single-spec
+        groups are charged one attempt **at submit** (so a worker death
+        consumes a retry), cohorts on successful completion only — a
+        failing cohort falls back to per-run groups with its members'
+        retry budgets untouched.
+        """
+        next_token = 0
+        inflight: dict[int, Sequence[_Job]] = {}
+        submit_t: dict[int, float] = {}
+
+        def _submit(group: Sequence[_Job]) -> None:
+            nonlocal next_token
+            token = next_token
+            next_token += 1
+            if len(group) == 1:
+                group[0].attempts += 1
+            inflight[token] = group
+            submit_t[token] = time.monotonic()
+            executor.submit(token, [job.spec for job in group], self.timeout_s)
+
+        for group in groups:
+            _submit(group)
+        while inflight:
+            completions = executor.poll()
+            if not completions:
+                if executor.outstanding() or inflight:
+                    raise RuntimeError(
+                        f"executor {type(executor).__name__} returned no "
+                        f"completions with {len(inflight)} groups in flight"
+                    )
+                break
+            resubmit: list[Sequence[_Job]] = []
+            for comp in completions:
+                group = inflight.pop(comp.token)
+                elapsed = time.monotonic() - submit_t.pop(comp.token)
+                for job in group:
+                    job.duration_s += elapsed
+                if comp.error is None:
+                    self._finish_group_ok(
+                        group, comp.payload, results, records, sink,
+                        transported=executor.transported,
+                    )
+                elif len(group) > 1:
+                    resubmit.extend(self._cohort_fallback(group, comp.error, sink))
+                elif self._should_retry(group[0], comp.error, sink):
+                    resubmit.append(group)
+                else:
+                    self._finish_failed(group[0], comp.error, records, sink)
+            for group in resubmit:
+                _submit(group)
 
 
 def run_specs(

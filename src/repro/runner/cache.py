@@ -91,6 +91,7 @@ class CacheStats:
     entries_written: int = 0
     bytes_loaded: int = 0
     bytes_written: int = 0
+    store_races: int = 0
 
     def summary(self) -> str:
         total = self.hits + self.misses
@@ -216,8 +217,21 @@ class ResultCache:
                 save_trace(result.trace, os.path.join(tmp, self.TRACE_FILE))
             written = _dir_nbytes(tmp)
             if os.path.isdir(entry):
-                shutil.rmtree(entry)
-            os.replace(tmp, entry)
+                shutil.rmtree(entry, ignore_errors=True)
+            try:
+                os.replace(tmp, entry)
+            except OSError:
+                # Concurrent writer: another process published this entry
+                # between our rmtree and replace (directory-over-directory
+                # rename fails with ENOTEMPTY).  Both writers hold results
+                # for the same spec key, so losing the race is benign —
+                # keep theirs, discard ours.
+                if not os.path.isdir(entry):
+                    raise
+                shutil.rmtree(tmp, ignore_errors=True)
+                self.stats.store_races += 1
+                global_metrics().counter("cache.store_races").inc()
+                return entry
         except BaseException:
             shutil.rmtree(tmp, ignore_errors=True)
             raise

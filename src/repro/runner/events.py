@@ -24,9 +24,13 @@ class RunnerEvent:
     """One progress record.
 
     ``event`` is one of ``batch_start``, ``cache_hit``, ``job_done``,
-    ``job_retry``, ``job_failed``, ``batch_done``.  ``t_s`` is seconds
-    since the batch started; per-job fields are ``None`` on batch-level
-    events.
+    ``job_retry``, ``job_failed``, ``cohort_start``, ``cohort_fallback``,
+    ``batch_done``; distributed runs additionally emit
+    ``worker_joined``, ``worker_lost``, ``job_requeued``, and
+    ``job_deadline`` from the coordinator (see
+    :class:`repro.dist.Coordinator`).  ``t_s`` is seconds since the
+    batch started; per-job fields are ``None`` on batch-level events.
+    ``batch_start.extra`` names the executor backend that ran the batch.
     """
 
     event: str

@@ -24,15 +24,22 @@ Two small registries keep specs declarative:
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import importlib
 import json
-from dataclasses import dataclass, field
+import pickle
+from dataclasses import asdict, dataclass, field
 from functools import lru_cache
 from typing import Any, Callable, Optional, Union
 
 from repro.platform.chip import ChipSpec, CoreConfig, exynos5422
-from repro.sched.params import SchedulerConfig, baseline_config
+from repro.sched.params import (
+    GovernorParams,
+    HMPParams,
+    SchedulerConfig,
+    baseline_config,
+)
 from repro.sim.engine import SimConfig, Simulator
 from repro.sim.trace import Trace
 from repro.sim.traceio import LazyTrace
@@ -238,6 +245,71 @@ class RunSpec:
             parts.append(_label_component(self.scheduler.name))
         parts.append(f"s{self.seed}")
         return "/".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Wire codec (distributed execution)
+# ---------------------------------------------------------------------------
+
+
+def spec_to_wire(spec: RunSpec) -> dict[str, Any]:
+    """Encode a spec as a JSON-compatible dict for the dist protocol.
+
+    Unlike :meth:`RunSpec.manifest` (a one-way hash input), this form is
+    lossless: :func:`spec_from_wire` reconstructs a spec with the same
+    content key, so a remote worker's cache entries are interchangeable
+    with local ones.  Scheduler parameters travel field-wise (frozen
+    dataclasses of primitives); a registry chip travels as its id, an
+    inline :class:`ChipSpec` as a pickle (base64) — acceptable on a
+    trusted cluster where the coordinator has already version-matched
+    the worker.
+    """
+    chip: Any = spec.chip
+    if isinstance(chip, ChipSpec):
+        chip = {"pickle": base64.b64encode(pickle.dumps(chip)).decode("ascii")}
+    return {
+        "workload": spec.workload,
+        "kind": spec.kind,
+        "chip": chip,
+        "core_config": spec.core_config,
+        "scheduler": {
+            "name": spec.scheduler.name,
+            "hmp": asdict(spec.scheduler.hmp),
+            "governor": asdict(spec.scheduler.governor),
+        },
+        "seed": spec.seed,
+        "max_seconds": spec.max_seconds,
+        "observe": spec.observe,
+        "reductions": list(spec.reductions),
+        "trace_policy": spec.trace_policy,
+        "batch_group": spec.batch_group,
+    }
+
+
+def spec_from_wire(data: dict[str, Any]) -> RunSpec:
+    """Inverse of :func:`spec_to_wire`; preserves :meth:`RunSpec.key`."""
+    chip: Any = data["chip"]
+    if isinstance(chip, dict):
+        chip = pickle.loads(base64.b64decode(chip["pickle"]))
+    sched = data["scheduler"]
+    scheduler = SchedulerConfig(
+        name=sched["name"],
+        hmp=HMPParams(**sched["hmp"]),
+        governor=GovernorParams(**sched["governor"]),
+    )
+    return RunSpec(
+        workload=data["workload"],
+        kind=data["kind"],
+        chip=chip,
+        core_config=data["core_config"],
+        scheduler=scheduler,
+        seed=data["seed"],
+        max_seconds=data["max_seconds"],
+        observe=data["observe"],
+        reductions=tuple(data["reductions"]),
+        trace_policy=data["trace_policy"],
+        batch_group=data["batch_group"],
+    )
 
 
 # ---------------------------------------------------------------------------

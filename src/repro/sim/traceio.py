@@ -24,6 +24,7 @@ first array access.  Paths may be ``str`` or any :class:`os.PathLike`.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 from dataclasses import dataclass
@@ -353,14 +354,8 @@ def save_trace(trace: Trace, path: PathArg) -> None:
     })
 
 
-def save_trace_rle(trace: Union[Trace, LazyTrace, RLETrace], path: PathArg) -> None:
-    """Write ``trace`` to ``path`` in the run-length-encoded format.
-
-    Accepts a dense :class:`Trace` (encoded here), a :class:`LazyTrace`
-    (its payload is written without inflating), or a raw
-    :class:`RLETrace`.
-    """
-    path = os.fspath(path)
+def _rle_arrays(trace: Union[Trace, LazyTrace, RLETrace]) -> dict[str, np.ndarray]:
+    """The npz array dict of ``trace``'s RLE form (shared by file/bytes)."""
     if isinstance(trace, LazyTrace):
         rle = trace.rle
     elif isinstance(trace, RLETrace):
@@ -377,7 +372,37 @@ def save_trace_rle(trace: Union[Trace, LazyTrace, RLETrace], path: PathArg) -> N
         arrays[f"{name}_values"] = col.values
         arrays[f"{name}_lengths"] = col.lengths
         arrays[f"{name}_splits"] = col.row_splits
-    _write_npz(path, arrays)
+    return arrays
+
+
+def save_trace_rle(trace: Union[Trace, LazyTrace, RLETrace], path: PathArg) -> None:
+    """Write ``trace`` to ``path`` in the run-length-encoded format.
+
+    Accepts a dense :class:`Trace` (encoded here), a :class:`LazyTrace`
+    (its payload is written without inflating), or a raw
+    :class:`RLETrace`.
+    """
+    _write_npz(os.fspath(path), _rle_arrays(trace))
+
+
+def trace_rle_to_bytes(trace: Union[Trace, LazyTrace, RLETrace]) -> bytes:
+    """The RLE npz byte form of ``trace`` — same format as ``trace.rle``
+    cache files, but in memory (the distributed protocol's trace blob)."""
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **_rle_arrays(trace))
+    return buf.getvalue()
+
+
+def load_trace_rle_bytes(data: bytes) -> LazyTrace:
+    """Inverse of :func:`trace_rle_to_bytes`; validates like file loads."""
+    with np.load(io.BytesIO(data)) as arrays:
+        header = _load_header("<bytes>", arrays)
+        if header.get("version") != RLE_FORMAT_VERSION:
+            raise ValueError(
+                f"expected RLE format v{RLE_FORMAT_VERSION}, "
+                f"got {header.get('version')!r}"
+            )
+        return LazyTrace(_load_rle("<bytes>", arrays, header))
 
 
 def _load_header(path: str, data) -> dict:

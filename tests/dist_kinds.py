@@ -1,0 +1,47 @@
+"""Fault-injection run kinds for the distributed-execution tests.
+
+Not a test module (pytest skips it): these are addressed by dotted path
+from ``RunSpec.kind`` so that **subprocess** CLI workers resolve them
+too — the spec's ``workload`` field carries any scratch path they key
+on, exactly like the kinds in ``test_runner.py``.
+"""
+
+import os
+import time
+
+from repro.runner.spec import RunResult, RunSpec
+
+
+def _ok_kind(spec: RunSpec) -> RunResult:
+    return RunResult(
+        spec_key=spec.key(), workload=spec.workload, metric="fps",
+        duration_s=0.01, avg_power_mw=100.0 + spec.seed, energy_mj=1.0,
+        avg_fps=60.0,
+    )
+
+
+def _crash_once_kind(spec: RunSpec) -> RunResult:
+    """Kill the worker process abruptly on the first attempt only."""
+    flag = spec.workload
+    if not os.path.exists(flag):
+        with open(flag, "w") as f:
+            f.write("crashed")
+        os._exit(3)
+    return _ok_kind(spec)
+
+
+def _always_crash_kind(spec: RunSpec) -> RunResult:
+    """Kill the worker process on every attempt — exhausts requeues."""
+    os._exit(3)
+
+
+def _sleepy_kind(spec: RunSpec) -> RunResult:
+    """Heartbeats keep flowing, but the job itself never finishes in time."""
+    time.sleep(6.0)
+    return _ok_kind(spec)
+
+
+OK_KIND = f"{__name__}:_ok_kind"
+CRASH_ONCE_KIND = f"{__name__}:_crash_once_kind"
+ALWAYS_CRASH_KIND = f"{__name__}:_always_crash_kind"
+SLEEPY_KIND = f"{__name__}:_sleepy_kind"
